@@ -1,0 +1,380 @@
+// Package enhancedbhpo_test holds the benchmark harness: one benchmark per
+// table and figure of the paper's evaluation (regenerating the artifact at
+// reduced scale each iteration) plus ablation benchmarks for the design
+// choices called out in DESIGN.md and micro-benchmarks for the hot
+// substrates. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The full-scale artifacts are produced by cmd/experiments; these
+// benchmarks use experiments.FastSettings so the whole suite finishes in
+// minutes while still exercising the identical code paths.
+package enhancedbhpo_test
+
+import (
+	"io"
+	"testing"
+
+	"enhancedbhpo/internal/cluster"
+	"enhancedbhpo/internal/cv"
+	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/experiments"
+	"enhancedbhpo/internal/grouping"
+	"enhancedbhpo/internal/hpo"
+	"enhancedbhpo/internal/nn"
+	"enhancedbhpo/internal/rng"
+	"enhancedbhpo/internal/scoring"
+	"enhancedbhpo/internal/search"
+	"enhancedbhpo/internal/stats"
+)
+
+func fastSettings(datasets ...string) experiments.Settings {
+	s := experiments.FastSettings()
+	s.Datasets = datasets
+	return s
+}
+
+// BenchmarkTable4 regenerates the Table IV comparison (random, SHA/SHA+,
+// HB/HB+, BOHB/BOHB+) on one simulated dataset per iteration.
+func BenchmarkTable4(b *testing.B) {
+	s := fastSettings("australian")
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkTable5 regenerates the Table V grouping ablation.
+func BenchmarkTable5(b *testing.B) {
+	s := fastSettings("australian")
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkFig3 regenerates the β–γ curve of Figure 3.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig3().Print(io.Discard)
+	}
+}
+
+// BenchmarkFig4 regenerates the Figure 4 sweeps (HP count, model size).
+func BenchmarkFig4(b *testing.B) {
+	s := experiments.FastSettings()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkFig5 regenerates the Figure 5 CV comparison.
+func BenchmarkFig5(b *testing.B) {
+	s := fastSettings("australian")
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkFig6 regenerates the Figure 6 fold-allocation sweep.
+func BenchmarkFig6(b *testing.B) {
+	s := fastSettings("australian")
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkFig7 regenerates the Figure 7 metric ablation.
+func BenchmarkFig7(b *testing.B) {
+	s := fastSettings("australian")
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkProp1 regenerates the Proposition 1 stability analysis.
+func BenchmarkProp1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunProp1().Print(io.Discard)
+	}
+}
+
+// BenchmarkBaselines regenerates the §IV-B full-budget baseline comparison
+// (random, SMAC, TPE, grid vs SHA/SHA+).
+func BenchmarkBaselines(b *testing.B) {
+	s := fastSettings("australian")
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunBaselines(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkAnytime regenerates the incumbent-curve comparison of SHA vs
+// SHA+ (budget-normalized AUC).
+func BenchmarkAnytime(b *testing.B) {
+	s := fastSettings("australian")
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAnytime(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkAblations regenerates the parameter-sensitivity sweeps
+// (group count v, special-fold bias, α, r_group).
+func BenchmarkAblations(b *testing.B) {
+	s := fastSettings("australian")
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblations(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkRobustness regenerates the label-corruption stress comparison.
+func BenchmarkRobustness(b *testing.B) {
+	s := fastSettings("australian")
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRobustness(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkExtended regenerates the extended-method comparison
+// (ASHA/PASHA/DEHB, vanilla vs enhanced).
+func BenchmarkExtended(b *testing.B) {
+	s := fastSettings("australian")
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunExtended(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkStability regenerates the seed-stability comparison.
+func BenchmarkStability(b *testing.B) {
+	s := fastSettings("australian")
+	s.Seeds = 3
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunStability(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+// BenchmarkTable2 regenerates the dataset inventory.
+func BenchmarkTable2(b *testing.B) {
+	s := fastSettings()
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable2(s).Print(io.Discard)
+	}
+}
+
+// --- Ablation benchmarks (design choices from DESIGN.md) ---
+
+func benchData(b *testing.B, scale float64) *dataset.Dataset {
+	b.Helper()
+	spec, err := dataset.SpecByName("australian")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec = spec.Scaled(scale)
+	train, _, err := dataset.Synthesize(spec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return train
+}
+
+// BenchmarkAblationRGroup measures how the balanced-clustering ratio
+// r_group changes group-construction cost.
+func BenchmarkAblationRGroup(b *testing.B) {
+	train := benchData(b, 0.5)
+	for _, rg := range []float64{0.2, 0.5, 0.8} {
+		b.Run(rgName(rg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := grouping.Build(train, grouping.Options{V: 3, RGroup: rg}, rng.New(uint64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func rgName(rg float64) string {
+	switch rg {
+	case 0.2:
+		return "rgroup=0.2"
+	case 0.5:
+		return "rgroup=0.5"
+	default:
+		return "rgroup=0.8"
+	}
+}
+
+// BenchmarkAblationAlphaBeta measures UCB-β scoring cost across weight
+// settings (scoring is on the hot path of every halving decision).
+func BenchmarkAblationAlphaBeta(b *testing.B) {
+	scores := []float64{0.71, 0.74, 0.69, 0.77, 0.72}
+	for _, cfg := range []struct {
+		name    string
+		alpha   float64
+		betaMax float64
+	}{
+		{"alpha=0.1,beta=10", 0.1, 10},
+		{"alpha=0.5,beta=2", 0.5, 2},
+		{"alpha=1,beta=1", 1, 1},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s := scoring.UCBScorer{Alpha: cfg.alpha, BetaMax: cfg.betaMax}
+			for i := 0; i < b.N; i++ {
+				_ = s.Score(scores, float64(i%100))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFoldBuilders compares the cost of the three fold
+// constructions at the same budget.
+func BenchmarkAblationFoldBuilders(b *testing.B) {
+	train := benchData(b, 1)
+	groups, err := grouping.Build(train, grouping.Options{V: 2}, rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	builders := []struct {
+		name string
+		bld  cv.Builder
+	}{
+		{"random", cv.RandomKFold{}},
+		{"stratified", cv.StratifiedKFold{}},
+		{"group(3+2)", cv.GroupFolds{KGen: 3, KSpe: 2}},
+	}
+	budget := train.Len() / 2
+	for _, bb := range builders {
+		b.Run(bb.name, func(b *testing.B) {
+			r := rng.New(4)
+			for i := 0; i < b.N; i++ {
+				if _, err := bb.bld.Folds(train, groups, budget, 5, r.Split(uint64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkKMeans measures the clustering substrate on a paper-scale
+// feature matrix.
+func BenchmarkKMeans(b *testing.B) {
+	train := benchData(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans(train.X, cluster.KMeansOptions{K: 3}, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMLPTrain measures one full MLP fit per solver.
+func BenchmarkMLPTrain(b *testing.B) {
+	train := benchData(b, 0.5)
+	for _, solver := range []nn.Solver{nn.SGD, nn.Adam, nn.LBFGS} {
+		b.Run(solver.String(), func(b *testing.B) {
+			cfg := nn.DefaultConfig()
+			cfg.Solver = solver
+			cfg.MaxIter = 10
+			cfg.LearningRateInit = 0.02
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i)
+				if _, err := nn.Fit(train, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSHA measures one full Successive Halving run (vanilla vs
+// enhanced) on a small space — the end-to-end unit the experiments repeat.
+func BenchmarkSHA(b *testing.B) {
+	train := benchData(b, 0.3)
+	space, err := search.TableIIISpace(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := nn.DefaultConfig()
+	base.MaxIter = 8
+	base.LearningRateInit = 0.02
+	run := func(b *testing.B, comps hpo.Components) {
+		configs := space.Enumerate()[:8]
+		for i := 0; i < b.N; i++ {
+			ev := hpo.NewCVEvaluator(train, base, comps)
+			if _, err := hpo.SuccessiveHalving(configs, ev, comps, hpo.SHAOptions{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("vanilla", func(b *testing.B) {
+		run(b, hpo.VanillaComponents(5))
+	})
+	b.Run("enhanced", func(b *testing.B) {
+		comps, err := hpo.EnhancedComponents(train, hpo.EnhancedOptions{}, rng.New(5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, comps)
+	})
+}
+
+// BenchmarkBetaEval measures the Eq. 2 weight function itself.
+func BenchmarkBetaEval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = scoring.Beta(float64(i%101), 10)
+	}
+}
+
+// BenchmarkBinomialProp1 measures the Proposition 1 convolution.
+func BenchmarkBinomialProp1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = stats.TwoGroupPMF(20, 40, 0.5, 0.25)
+	}
+}

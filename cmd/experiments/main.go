@@ -1,0 +1,186 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated datasets.
+//
+// Usage:
+//
+//	experiments -exp table4|table5|fig3|fig4|fig5|fig6|fig7|prop1|all \
+//	    [-scale 0.35] [-seeds 3] [-configs 162] [-hps 4] [-iters 20] \
+//	    [-datasets a9a,usps] [-fast]
+//
+// The defaults run a laptop-scale protocol; -fast shrinks everything for a
+// quick smoke pass, and raising -scale/-seeds/-configs approaches the
+// paper's full protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"enhancedbhpo/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run: table4, table5, fig3, fig4, fig5, fig6, fig7, prop1, baselines, anytime, ablations, all")
+		scale    = flag.Float64("scale", 0, "dataset scale factor (0 = default 0.35)")
+		seeds    = flag.Int("seeds", 0, "number of random seeds (0 = default 3; paper uses 5)")
+		configs  = flag.Int("configs", 0, "max configurations for HPO experiments (0 = default 162)")
+		hps      = flag.Int("hps", 0, "number of Table III hyperparameters (0 = default 4)")
+		iters    = flag.Int("iters", 0, "MLP training epochs (0 = default 20)")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset (empty = experiment defaults)")
+		fast     = flag.Bool("fast", false, "use the fast smoke settings")
+		verbose  = flag.Bool("v", false, "log per-dataset progress to stderr")
+		outDir   = flag.String("out", "", "also write each experiment's output to <dir>/<exp>.txt")
+	)
+	flag.Parse()
+
+	s := experiments.Settings{
+		Scale:      *scale,
+		Seeds:      *seeds,
+		MaxConfigs: *configs,
+		NumHPs:     *hps,
+		MaxIter:    *iters,
+	}
+	if *fast {
+		s = experiments.FastSettings()
+	}
+	if *verbose {
+		s.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if *datasets != "" {
+		s.Datasets = strings.Split(*datasets, ",")
+	}
+
+	if err := run(*exp, s, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, s experiments.Settings, outDir string) error {
+	todo := []string{exp}
+	switch exp {
+	case "all":
+		todo = []string{"table2", "fig3", "prop1", "table5", "fig5", "fig6", "fig7", "fig4", "table4", "baselines", "anytime", "ablations", "robustness", "extended", "stability"}
+	case "cv":
+		// The cross-validation experiments share ground truths through the
+		// in-process cache; running them together avoids recomputing the
+		// full-data trainings per experiment.
+		todo = []string{"table5", "fig5", "fig6", "fig7", "ablations"}
+	case "hpo":
+		todo = []string{"fig4", "table4", "baselines", "anytime", "robustness", "extended"}
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, e := range todo {
+		if err := runOne(e, s, outDir); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runOne(exp string, s experiments.Settings, outDir string) error {
+	var w io.Writer = os.Stdout
+	if outDir != "" {
+		f, err := os.Create(filepath.Join(outDir, exp+".txt"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	switch exp {
+	case "table2":
+		experiments.RunTable2(s).Print(w)
+	case "table4":
+		res, err := experiments.RunTable4(s)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "table5":
+		res, err := experiments.RunTable5(s)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "fig3":
+		experiments.RunFig3().Print(w)
+	case "fig4":
+		res, err := experiments.RunFig4(s)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "fig5":
+		res, err := experiments.RunFig5(s)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "fig6":
+		res, err := experiments.RunFig6(s)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "fig7":
+		res, err := experiments.RunFig7(s)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "prop1":
+		experiments.RunProp1().Print(w)
+	case "baselines":
+		res, err := experiments.RunBaselines(s)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "anytime":
+		res, err := experiments.RunAnytime(s)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "ablations":
+		res, err := experiments.RunAblations(s)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "robustness":
+		res, err := experiments.RunRobustness(s)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "extended":
+		res, err := experiments.RunExtended(s)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "stability":
+		res, err := experiments.RunStability(s)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

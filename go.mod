@@ -1,0 +1,3 @@
+module enhancedbhpo
+
+go 1.22

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"enhancedbhpo/internal/mat"
+)
+
+// AffinityPropagation implements the third clustering backend §III-A
+// mentions (Frey & Dueck, 2007): message passing between points exchanges
+// "responsibility" (how well-suited point k is as exemplar for i) and
+// "availability" (how appropriate it is for i to choose k) until a set of
+// exemplars emerges. Like mean-shift, the cluster count is an output.
+//
+// Similarity is negative squared Euclidean distance; the shared preference
+// (diagonal) defaults to the median similarity, the authors' suggestion
+// for a moderate number of clusters.
+type AffinityOptions struct {
+	// Damping in [0.5, 1) stabilizes the message updates. 0 selects 0.7.
+	Damping float64
+	// MaxIters bounds the message-passing rounds. 0 selects 60.
+	MaxIters int
+	// Convergence stops after this many rounds without exemplar changes.
+	// 0 selects 8.
+	Convergence int
+	// Preference overrides the diagonal similarity; 0 selects the median
+	// pairwise similarity (NaN cannot occur since similarities are finite).
+	Preference float64
+	// HasPreference marks Preference as explicitly set (0 is a valid
+	// preference value).
+	HasPreference bool
+}
+
+func (o AffinityOptions) withDefaults() AffinityOptions {
+	if o.Damping <= 0 || o.Damping >= 1 {
+		o.Damping = 0.7
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 60
+	}
+	if o.Convergence <= 0 {
+		o.Convergence = 8
+	}
+	return o
+}
+
+// AffinityPropagation clusters the rows of x. It returns an error for
+// empty input; a degenerate outcome (no exemplar emerged) falls back to a
+// single cluster at the medoid.
+func AffinityPropagation(x *mat.Dense, opts AffinityOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	n := x.Rows()
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: affinity propagation on empty input")
+	}
+	if n == 1 {
+		center := append([]float64(nil), x.Row(0)...)
+		return &Result{Assign: []int{0}, Centers: [][]float64{center}}, nil
+	}
+	// Similarity matrix.
+	s := make([][]float64, n)
+	var sims []float64
+	for i := 0; i < n; i++ {
+		s[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			s[i][j] = -mat.SqDist(x.Row(i), x.Row(j))
+			if i < j {
+				sims = append(sims, s[i][j])
+			}
+		}
+	}
+	pref := opts.Preference
+	if !opts.HasPreference {
+		pref = medianOf(sims)
+	}
+	for i := 0; i < n; i++ {
+		s[i][i] = pref
+	}
+	r := make([][]float64, n) // responsibilities
+	a := make([][]float64, n) // availabilities
+	for i := 0; i < n; i++ {
+		r[i] = make([]float64, n)
+		a[i] = make([]float64, n)
+	}
+	lam := opts.Damping
+	prevExemplars := ""
+	stable := 0
+	iters := 0
+	for iters = 0; iters < opts.MaxIters; iters++ {
+		// Responsibilities: r(i,k) = s(i,k) − max_{k'≠k} (a(i,k') + s(i,k')).
+		for i := 0; i < n; i++ {
+			max1, max2 := negInf, negInf
+			arg1 := -1
+			for k := 0; k < n; k++ {
+				v := a[i][k] + s[i][k]
+				if v > max1 {
+					max2 = max1
+					max1, arg1 = v, k
+				} else if v > max2 {
+					max2 = v
+				}
+			}
+			for k := 0; k < n; k++ {
+				sub := max1
+				if k == arg1 {
+					sub = max2
+				}
+				r[i][k] = lam*r[i][k] + (1-lam)*(s[i][k]-sub)
+			}
+		}
+		// Availabilities: a(i,k) = min(0, r(k,k) + Σ_{i'∉{i,k}} max(0, r(i',k)));
+		// a(k,k) = Σ_{i'≠k} max(0, r(i',k)).
+		for k := 0; k < n; k++ {
+			var sumPos float64
+			for i := 0; i < n; i++ {
+				if i != k && r[i][k] > 0 {
+					sumPos += r[i][k]
+				}
+			}
+			for i := 0; i < n; i++ {
+				var v float64
+				if i == k {
+					v = sumPos
+				} else {
+					v = r[k][k] + sumPos
+					if r[i][k] > 0 {
+						v -= r[i][k]
+					}
+					if v > 0 {
+						v = 0
+					}
+				}
+				a[i][k] = lam*a[i][k] + (1-lam)*v
+			}
+		}
+		// Exemplars: points with r(k,k)+a(k,k) > 0. Stability only counts
+		// once at least one exemplar has emerged — early rounds where all
+		// self-evidence is still non-positive must not trigger convergence.
+		sig := exemplarSignature(r, a)
+		if sig == prevExemplars && strings.ContainsRune(sig, '1') {
+			stable++
+			if stable >= opts.Convergence {
+				iters++
+				break
+			}
+		} else {
+			stable = 0
+			prevExemplars = sig
+		}
+	}
+	// Collect exemplars and assign points.
+	var exemplars []int
+	for k := 0; k < n; k++ {
+		if r[k][k]+a[k][k] > 0 {
+			exemplars = append(exemplars, k)
+		}
+	}
+	if len(exemplars) == 0 {
+		// Degenerate: fall back to the point with the highest self-evidence.
+		best, bestV := 0, negInf
+		for k := 0; k < n; k++ {
+			if v := r[k][k] + a[k][k]; v > bestV {
+				best, bestV = k, v
+			}
+		}
+		exemplars = []int{best}
+	}
+	assign := make([]int, n)
+	centers := make([][]float64, len(exemplars))
+	for c, e := range exemplars {
+		centers[c] = append([]float64(nil), x.Row(e)...)
+	}
+	var inertia float64
+	for i := 0; i < n; i++ {
+		bestC, bestSim := 0, negInf
+		for c, e := range exemplars {
+			if i == e {
+				bestC = c
+				bestSim = 0
+				break
+			}
+			if s[i][e] > bestSim {
+				bestC, bestSim = c, s[i][e]
+			}
+		}
+		assign[i] = bestC
+		inertia += mat.SqDist(x.Row(i), centers[bestC])
+	}
+	return &Result{Assign: assign, Centers: centers, Inertia: inertia, Iters: iters}, nil
+}
+
+const negInf = -1e308
+
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	return tmp[len(tmp)/2]
+}
+
+func exemplarSignature(r, a [][]float64) string {
+	sig := make([]byte, len(r))
+	for k := range r {
+		if r[k][k]+a[k][k] > 0 {
+			sig[k] = '1'
+		} else {
+			sig[k] = '0'
+		}
+	}
+	return string(sig)
+}

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"testing"
+
+	"enhancedbhpo/internal/mat"
+)
+
+func TestAffinityPropagationSeparatesBlobs(t *testing.T) {
+	x, truth := blobs(3, 20, 2, 12, 30)
+	res, err := AffinityPropagation(x, AffinityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() < 2 {
+		t.Fatalf("found %d clusters", res.K())
+	}
+	if p := clusterPurity(res.Assign, truth, res.K(), 3); p < 0.9 {
+		t.Fatalf("purity %v", p)
+	}
+	total := 0
+	for _, s := range res.Sizes() {
+		total += s
+	}
+	if total != x.Rows() {
+		t.Fatalf("assignments cover %d of %d", total, x.Rows())
+	}
+}
+
+func TestAffinityPropagationSinglePoint(t *testing.T) {
+	x := mat.NewDenseData(1, 2, []float64{1, 2})
+	res, err := AffinityPropagation(x, AffinityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K() != 1 || res.Assign[0] != 0 {
+		t.Fatalf("single point result %+v", res)
+	}
+}
+
+func TestAffinityPropagationPreference(t *testing.T) {
+	x, _ := blobs(2, 15, 2, 10, 31)
+	// A very negative preference discourages exemplars → fewer clusters.
+	few, err := AffinityPropagation(x, AffinityOptions{Preference: -1e6, HasPreference: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A zero preference (= max similarity) encourages many exemplars.
+	many, err := AffinityPropagation(x, AffinityOptions{Preference: 0, HasPreference: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.K() < few.K() {
+		t.Fatalf("higher preference gave fewer clusters: %d vs %d", many.K(), few.K())
+	}
+}
+
+func TestAffinityPropagationDamping(t *testing.T) {
+	x, truth := blobs(2, 15, 2, 10, 32)
+	for _, damping := range []float64{0.5, 0.7, 0.9} {
+		// Pin the preference so this test exercises the damping dynamics,
+		// not the median-preference heuristic (which is borderline when
+		// exactly two far-apart blobs make cross-blob pairs the median).
+		// Low damping oscillates longer before settling; give it headroom.
+		res, err := AffinityPropagation(x, AffinityOptions{Damping: damping, Preference: -50, HasPreference: true, MaxIters: 200})
+		if err != nil {
+			t.Fatalf("damping %v: %v", damping, err)
+		}
+		if p := clusterPurity(res.Assign, truth, res.K(), 2); p < 0.85 {
+			t.Fatalf("damping %v purity %v", damping, p)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+
+	"enhancedbhpo/internal/mat"
+	"enhancedbhpo/internal/rng"
+)
+
+// DefaultRGroup is the paper's experimental setting for the balance ratio
+// r_group (§IV-B sets r_group = 0.8).
+const DefaultRGroup = 0.8
+
+// BalancedOptions configure the paper's iterative balanced clustering
+// (§III-A): "If a particular cluster has very few instances (less than
+// r_group ratio of the average number of instances per cluster, n/k ×
+// r_group), we remove these instances and re-cluster the rest until each
+// cluster has the desired number of instances."
+type BalancedOptions struct {
+	// K is the desired cluster count v (the paper recommends 2–5).
+	K int
+	// RGroup is the minimum cluster size as a fraction of the mean cluster
+	// size n/k. 0 selects DefaultRGroup.
+	RGroup float64
+	// MaxRounds bounds the remove-and-recluster loop. 0 selects 5.
+	MaxRounds int
+	// KMeans carries the inner k-means settings (K is overwritten).
+	KMeans KMeansOptions
+}
+
+func (o BalancedOptions) withDefaults() BalancedOptions {
+	if o.RGroup <= 0 {
+		o.RGroup = DefaultRGroup
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 5
+	}
+	return o
+}
+
+// BalancedKMeans runs the paper's iterative re-clustering. Instances that
+// fell in undersized clusters during intermediate rounds are assigned to
+// their nearest surviving center at the end, so every instance receives a
+// cluster label in [0, K).
+func BalancedKMeans(x *mat.Dense, opts BalancedOptions, r *rng.RNG) (*Result, error) {
+	opts = opts.withDefaults()
+	n := x.Rows()
+	if opts.K < 1 {
+		return nil, fmt.Errorf("cluster: balanced k=%d < 1", opts.K)
+	}
+	if opts.K > n {
+		return nil, fmt.Errorf("cluster: balanced k=%d > n=%d", opts.K, n)
+	}
+	active := make([]int, n) // row indices still participating
+	for i := range active {
+		active[i] = i
+	}
+	var res *Result
+	var sub *mat.Dense
+	for round := 0; round < opts.MaxRounds; round++ {
+		sub = selectRows(x, active)
+		o := opts.KMeans
+		o.K = opts.K
+		var err error
+		res, err = KMeans(sub, o, r.Split(uint64(round)+101))
+		if err != nil {
+			return nil, err
+		}
+		minSize := opts.RGroup * float64(len(active)) / float64(opts.K)
+		sizes := res.Sizes()
+		undersized := false
+		for _, s := range sizes {
+			if float64(s) < minSize {
+				undersized = true
+				break
+			}
+		}
+		if !undersized {
+			break
+		}
+		// Remove the instances of undersized clusters and re-cluster the rest
+		// — unless that would leave too few points for K clusters, in which
+		// case we accept the current result.
+		keep := active[:0:0]
+		for localIdx, a := range res.Assign {
+			if float64(sizes[a]) >= minSize {
+				keep = append(keep, active[localIdx])
+			}
+		}
+		if len(keep) < opts.K*2 {
+			break
+		}
+		active = keep
+	}
+	// Map every original row (including removed ones) to its nearest final
+	// center.
+	assign := make([]int, n)
+	var inertia float64
+	for i := 0; i < n; i++ {
+		k := nearest(x.Row(i), res.Centers)
+		assign[i] = k
+		inertia += mat.SqDist(x.Row(i), res.Centers[k])
+	}
+	return &Result{Assign: assign, Centers: res.Centers, Inertia: inertia, Iters: res.Iters}, nil
+}
+
+func selectRows(x *mat.Dense, rows []int) *mat.Dense {
+	out := mat.NewDense(len(rows), x.Cols())
+	for i, rIdx := range rows {
+		copy(out.Row(i), x.Row(rIdx))
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"enhancedbhpo/internal/mat"
+	"enhancedbhpo/internal/rng"
+)
+
+// Silhouette analysis — the second k-selection heuristic the paper cites
+// (Saputra et al., "elbow and silhouette method"). The silhouette of point
+// i is (b−a)/max(a,b) where a is its mean distance to its own cluster and
+// b the mean distance to the nearest other cluster; the mean silhouette
+// over all points scores a clustering in [−1, 1].
+
+// Silhouette returns the mean silhouette coefficient of the assignment
+// over the rows of x. Clusters with a single member contribute 0, the
+// standard convention. It returns an error when fewer than 2 clusters are
+// populated.
+func Silhouette(x *mat.Dense, assign []int) (float64, error) {
+	n := x.Rows()
+	if len(assign) != n {
+		return 0, fmt.Errorf("cluster: %d assignments for %d rows", len(assign), n)
+	}
+	k := 0
+	for _, a := range assign {
+		if a < 0 {
+			return 0, fmt.Errorf("cluster: negative assignment %d", a)
+		}
+		if a+1 > k {
+			k = a + 1
+		}
+	}
+	sizes := make([]int, k)
+	for _, a := range assign {
+		sizes[a]++
+	}
+	populated := 0
+	for _, s := range sizes {
+		if s > 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		return 0, fmt.Errorf("cluster: silhouette needs >= 2 populated clusters, got %d", populated)
+	}
+	var total float64
+	// meanDist[i][c] = mean distance from i to cluster c.
+	for i := 0; i < n; i++ {
+		sums := make([]float64, k)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			sums[assign[j]] += distance(x.Row(i), x.Row(j))
+		}
+		own := assign[i]
+		if sizes[own] <= 1 {
+			continue // singleton: silhouette 0
+		}
+		a := sums[own] / float64(sizes[own]-1)
+		b := -1.0
+		for c := 0; c < k; c++ {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			m := sums[c] / float64(sizes[c])
+			if b < 0 || m < b {
+				b = m
+			}
+		}
+		den := a
+		if b > den {
+			den = b
+		}
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n), nil
+}
+
+// SilhouetteK selects the cluster count in [kMin, kMax] with the highest
+// mean silhouette of a k-means fit — the alternative to Elbow.
+func SilhouetteK(x *mat.Dense, kMin, kMax int, opts KMeansOptions, r *rng.RNG) (int, error) {
+	if kMin < 2 || kMax < kMin {
+		return 0, fmt.Errorf("cluster: invalid silhouette range [%d,%d]", kMin, kMax)
+	}
+	if kMax > x.Rows() {
+		kMax = x.Rows()
+	}
+	bestK, bestScore := kMin, -2.0
+	for k := kMin; k <= kMax; k++ {
+		o := opts
+		o.K = k
+		res, err := KMeans(x, o, r.Split(uint64(k)+0x5113))
+		if err != nil {
+			return 0, err
+		}
+		score, err := Silhouette(x, res.Assign)
+		if err != nil {
+			continue // degenerate fit (all points in one cluster)
+		}
+		if score > bestScore {
+			bestK, bestScore = k, score
+		}
+	}
+	return bestK, nil
+}
+
+func distance(a, b []float64) float64 {
+	return math.Sqrt(mat.SqDist(a, b))
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"testing"
+
+	"enhancedbhpo/internal/mat"
+	"enhancedbhpo/internal/rng"
+)
+
+func TestSilhouetteGoodVsBadClustering(t *testing.T) {
+	x, truth := blobs(2, 25, 2, 10, 50)
+	good, err := Silhouette(x, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good < 0.5 {
+		t.Fatalf("true clustering silhouette %v", good)
+	}
+	// A shuffled (wrong) assignment scores much lower.
+	bad := make([]int, len(truth))
+	for i := range bad {
+		bad[i] = (i / 2) % 2
+	}
+	badScore, err := Silhouette(x, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badScore >= good {
+		t.Fatalf("wrong clustering silhouette %v >= true %v", badScore, good)
+	}
+}
+
+func TestSilhouetteBounds(t *testing.T) {
+	x, truth := blobs(3, 15, 3, 6, 51)
+	s, err := Silhouette(x, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < -1 || s > 1 {
+		t.Fatalf("silhouette %v out of [-1,1]", s)
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	x, _ := blobs(2, 5, 2, 5, 52)
+	if _, err := Silhouette(x, []int{0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	allSame := make([]int, x.Rows())
+	if _, err := Silhouette(x, allSame); err == nil {
+		t.Error("single cluster accepted")
+	}
+	neg := make([]int, x.Rows())
+	neg[0] = -1
+	if _, err := Silhouette(x, neg); err == nil {
+		t.Error("negative assignment accepted")
+	}
+}
+
+func TestSilhouetteSingletonContributesZero(t *testing.T) {
+	// 3 points: two close together, one singleton cluster.
+	x := mat.NewDenseData(3, 1, []float64{0, 0.1, 10})
+	s, err := Silhouette(x, []int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
+		t.Fatalf("silhouette %v, want positive (pair is tight)", s)
+	}
+}
+
+func TestSilhouetteKFindsBlobCount(t *testing.T) {
+	// Fixed, well-separated centers (random centers can collide, which
+	// would legitimately merge blobs).
+	centers := [][2]float64{{-10, 0}, {10, 0}, {0, 12}}
+	r := rng.New(53)
+	n := 90
+	x := mat.NewDense(n, 2)
+	for i := 0; i < n; i++ {
+		c := centers[i%3]
+		x.Set(i, 0, c[0]+r.Norm()*0.5)
+		x.Set(i, 1, c[1]+r.Norm()*0.5)
+	}
+	k, err := SilhouetteK(x, 2, 6, KMeansOptions{MaxIters: 15}, rng.New(54))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 3 {
+		t.Fatalf("silhouette picked k=%d for 3 blobs", k)
+	}
+}
+
+func TestSilhouetteKErrors(t *testing.T) {
+	x, _ := blobs(2, 5, 2, 5, 55)
+	if _, err := SilhouetteK(x, 1, 3, KMeansOptions{}, rng.New(1)); err == nil {
+		t.Error("kMin=1 accepted")
+	}
+	if _, err := SilhouetteK(x, 3, 2, KMeansOptions{}, rng.New(1)); err == nil {
+		t.Error("kMax<kMin accepted")
+	}
+}

@@ -1,0 +1,288 @@
+// Package core is the public façade of the repository: it wires the
+// substrates (datasets, MLPs, clustering) and the bandit framework into a
+// single entry point. A caller picks a Method (random / SHA / Hyperband /
+// BOHB / ASHA) and a Variant (Vanilla, or the paper's Enhanced components:
+// instance grouping, general+special folds and the variance/size-aware
+// score), calls Run, and receives the selected configuration, a model
+// refitted on the full training set, and train/test scores — the quantities
+// reported in the paper's Table IV.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/hpo"
+	"enhancedbhpo/internal/nn"
+	"enhancedbhpo/internal/rng"
+	"enhancedbhpo/internal/search"
+)
+
+// Method selects the bandit-based optimizer.
+type Method int
+
+const (
+	// Random is the random-search baseline.
+	Random Method = iota
+	// SHA is Successive Halving.
+	SHA
+	// Hyperband is the bracket schedule over SHA.
+	Hyperband
+	// BOHB is Hyperband with TPE-model-based sampling.
+	BOHB
+	// ASHA is asynchronous successive halving.
+	ASHA
+	// PASHA is progressive ASHA (grows the rung ladder on demand).
+	PASHA
+	// DEHB is differential-evolution Hyperband.
+	DEHB
+	// SMAC is the random-forest-surrogate sequential Bayesian optimizer
+	// (full-budget baseline, per §IV-B).
+	SMAC
+	// TPE is the Optuna-style sequential TPE optimizer (full-budget
+	// baseline, per §IV-B).
+	TPE
+	// Grid is exhaustive grid search at full budget.
+	Grid
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Random:
+		return "random"
+	case SHA:
+		return "sha"
+	case Hyperband:
+		return "hyperband"
+	case BOHB:
+		return "bohb"
+	case ASHA:
+		return "asha"
+	case PASHA:
+		return "pasha"
+	case DEHB:
+		return "dehb"
+	case SMAC:
+		return "smac"
+	case TPE:
+		return "tpe"
+	case Grid:
+		return "grid"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod converts a method name used by the CLI tools.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "random":
+		return Random, nil
+	case "sha":
+		return SHA, nil
+	case "hyperband", "hb":
+		return Hyperband, nil
+	case "bohb":
+		return BOHB, nil
+	case "asha":
+		return ASHA, nil
+	case "pasha":
+		return PASHA, nil
+	case "dehb":
+		return DEHB, nil
+	case "smac":
+		return SMAC, nil
+	case "tpe", "optuna":
+		return TPE, nil
+	case "grid":
+		return Grid, nil
+	}
+	return 0, fmt.Errorf("core: unknown method %q", s)
+}
+
+// Variant selects vanilla or paper-enhanced components.
+type Variant int
+
+const (
+	// Vanilla uses stratified folds and the plain-mean score.
+	Vanilla Variant = iota
+	// Enhanced uses the paper's grouping, general+special folds and UCB-β
+	// score — the "+" variants of Table IV.
+	Enhanced
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	if v == Enhanced {
+		return "enhanced"
+	}
+	return "vanilla"
+}
+
+// Options configure a Run.
+type Options struct {
+	// Method selects the optimizer. Defaults to SHA.
+	Method Method
+	// Variant selects vanilla or enhanced components.
+	Variant Variant
+	// Space is the configuration space to search. Required.
+	Space *search.Space
+	// Base supplies the non-searched nn.Config fields; zero value selects
+	// nn.DefaultConfig.
+	Base nn.Config
+	// K is the fold count for vanilla components (enhanced components
+	// derive it from KGen+KSpe). 0 selects 5.
+	K int
+	// Enhanced tunes the paper's components when Variant == Enhanced.
+	Enhanced hpo.EnhancedOptions
+	// The per-method option blocks tune the respective optimizers; the
+	// Seed below overrides their seeds.
+	SHA    hpo.SHAOptions
+	HB     hpo.HyperbandOptions
+	BOHB   hpo.BOHBOptions
+	ASHA   hpo.ASHAOptions
+	PASHA  hpo.PASHAOptions
+	DEHB   hpo.DEHBOptions
+	SMAC   hpo.SMACOptions
+	TPE    hpo.TPEOptions
+	Grid   hpo.GridSearchOptions
+	Random hpo.RandomSearchOptions
+	// MaxConfigs caps how many configurations SHA starts from (0 = whole
+	// space, matching the paper's 162-configuration setting).
+	MaxConfigs int
+	// UseF1 scores classification folds (and the final model) by F1.
+	UseF1 bool
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// Outcome is the result of one optimization run.
+type Outcome struct {
+	// Search is the raw optimizer result (best config, trials, timing).
+	Search *hpo.Result
+	// Model is the best configuration refitted on the full training set.
+	Model *nn.Model
+	// TrainScore and TestScore are the refitted model's scores (accuracy,
+	// F1 or R² depending on the task and UseF1).
+	TrainScore, TestScore float64
+	// SetupTime covers group construction (zero for vanilla variants).
+	SetupTime time.Duration
+	// SearchTime covers the optimizer run.
+	SearchTime time.Duration
+	// TotalTime = SetupTime + SearchTime + final refit.
+	TotalTime time.Duration
+}
+
+// Run optimizes hyperparameters on train and reports final quality on test.
+func Run(train, test *dataset.Dataset, opts Options) (*Outcome, error) {
+	if opts.Space == nil {
+		return nil, fmt.Errorf("core: Options.Space is required")
+	}
+	if err := train.Validate(); err != nil {
+		return nil, fmt.Errorf("core: train: %w", err)
+	}
+	if err := test.Validate(); err != nil {
+		return nil, fmt.Errorf("core: test: %w", err)
+	}
+	base := opts.Base
+	if len(base.HiddenLayerSizes) == 0 {
+		base = nn.DefaultConfig()
+	}
+	totalStart := time.Now()
+	root := rng.New(opts.Seed ^ 0xc0de)
+
+	var comps hpo.Components
+	var setup time.Duration
+	if opts.Variant == Enhanced {
+		setupStart := time.Now()
+		c, err := hpo.EnhancedComponents(train, opts.Enhanced, root.Split(1))
+		if err != nil {
+			return nil, fmt.Errorf("core: building enhanced components: %w", err)
+		}
+		comps = c
+		setup = time.Since(setupStart)
+	} else {
+		comps = hpo.VanillaComponents(opts.K)
+	}
+	ev := hpo.NewCVEvaluator(train, base, comps)
+	ev.UseF1 = opts.UseF1
+
+	var res *hpo.Result
+	var err error
+	switch opts.Method {
+	case Random:
+		o := opts.Random
+		o.Seed = opts.Seed
+		res, err = hpo.RandomSearch(opts.Space, ev, comps, o)
+	case SHA:
+		o := opts.SHA
+		o.Seed = opts.Seed
+		configs := opts.Space.Enumerate()
+		if opts.MaxConfigs > 0 && opts.MaxConfigs < len(configs) {
+			configs = opts.Space.SampleN(root.Split(2), opts.MaxConfigs)
+		}
+		res, err = hpo.SuccessiveHalving(configs, ev, comps, o)
+	case Hyperband:
+		o := opts.HB
+		o.Seed = opts.Seed
+		res, err = hpo.Hyperband(opts.Space, ev, comps, o)
+	case BOHB:
+		o := opts.BOHB
+		o.Hyperband.Seed = opts.Seed
+		res, err = hpo.BOHB(opts.Space, ev, comps, o)
+	case ASHA:
+		o := opts.ASHA
+		o.Seed = opts.Seed
+		res, err = hpo.ASHA(opts.Space, ev, comps, o)
+	case PASHA:
+		o := opts.PASHA
+		o.Seed = opts.Seed
+		res, err = hpo.PASHA(opts.Space, ev, comps, o)
+	case DEHB:
+		o := opts.DEHB
+		o.Hyperband.Seed = opts.Seed
+		res, err = hpo.DEHB(opts.Space, ev, comps, o)
+	case SMAC:
+		o := opts.SMAC
+		o.Seed = opts.Seed
+		res, err = hpo.SMAC(opts.Space, ev, comps, o)
+	case TPE:
+		o := opts.TPE
+		o.Seed = opts.Seed
+		res, err = hpo.TPE(opts.Space, ev, comps, o)
+	case Grid:
+		o := opts.Grid
+		o.Seed = opts.Seed
+		if o.MaxConfigs == 0 {
+			o.MaxConfigs = opts.MaxConfigs
+		}
+		res, err = hpo.GridSearch(opts.Space, ev, comps, o)
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", opts.Method)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", opts.Method, err)
+	}
+
+	model, err := ev.FitFull(res.Best, root.Split(3).Uint64())
+	if err != nil {
+		return nil, fmt.Errorf("core: refitting best configuration: %w", err)
+	}
+	out := &Outcome{
+		Search:     res,
+		Model:      model,
+		SetupTime:  setup,
+		SearchTime: res.Elapsed,
+	}
+	if opts.UseF1 && train.Kind == dataset.Classification {
+		out.TrainScore = model.ScoreF1(train)
+		out.TestScore = model.ScoreF1(test)
+	} else {
+		out.TrainScore = model.Score(train)
+		out.TestScore = model.Score(test)
+	}
+	out.TotalTime = time.Since(totalStart)
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+
+	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/nn"
+	"enhancedbhpo/internal/search"
+)
+
+func fastBase() nn.Config {
+	base := nn.DefaultConfig()
+	base.MaxIter = 12
+	base.LearningRateInit = 0.02
+	base.HiddenLayerSizes = []int{6}
+	return base
+}
+
+func smallData(t *testing.T) (train, test *dataset.Dataset) {
+	t.Helper()
+	spec, err := dataset.SpecByName("australian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = spec.Scaled(0.4)
+	train, test, err = dataset.Synthesize(spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataset.Standardize(train, test)
+	return train, test
+}
+
+func smallSpace(t *testing.T) *search.Space {
+	t.Helper()
+	s, err := search.TableIIISpace(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunSHAVanillaAndEnhanced(t *testing.T) {
+	train, test := smallData(t)
+	space := smallSpace(t)
+	for _, variant := range []Variant{Vanilla, Enhanced} {
+		out, err := Run(train, test, Options{
+			Method:     SHA,
+			Variant:    variant,
+			Space:      space,
+			Base:       fastBase(),
+			MaxConfigs: 6,
+			Seed:       1,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		if out.TestScore < 0.55 {
+			t.Errorf("%v: test accuracy %v too low", variant, out.TestScore)
+		}
+		if out.Search.Best.ID() == "" {
+			t.Errorf("%v: no best config", variant)
+		}
+		if out.Model == nil {
+			t.Errorf("%v: no final model", variant)
+		}
+		if variant == Enhanced && out.SetupTime <= 0 {
+			t.Errorf("enhanced run recorded no setup time")
+		}
+		if variant == Vanilla && out.SetupTime != 0 {
+			t.Errorf("vanilla run recorded setup time %v", out.SetupTime)
+		}
+	}
+}
+
+func TestRunAllMethods(t *testing.T) {
+	train, test := smallData(t)
+	space := smallSpace(t)
+	for _, method := range []Method{Random, SHA, Hyperband, BOHB, ASHA, PASHA, DEHB, SMAC, TPE, Grid} {
+		opts := Options{
+			Method:     method,
+			Space:      space,
+			Base:       fastBase(),
+			MaxConfigs: 4,
+			Seed:       2,
+		}
+		opts.Random.N = 3
+		opts.HB.MaxBrackets = 2
+		opts.HB.MinBudget = 40
+		opts.BOHB.Hyperband.MaxBrackets = 2
+		opts.BOHB.Hyperband.MinBudget = 40
+		opts.ASHA.MaxConfigs = 4
+		opts.ASHA.Workers = 2
+		opts.PASHA.MaxConfigs = 4
+		opts.PASHA.MinBudget = 40
+		opts.DEHB.Hyperband.MaxBrackets = 2
+		opts.DEHB.Hyperband.MinBudget = 40
+		opts.SMAC.N = 4
+		opts.TPE.N = 4
+		opts.Grid.MaxConfigs = 4
+		out, err := Run(train, test, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if out.Search.Method != method.String() {
+			t.Errorf("%v: method recorded as %q", method, out.Search.Method)
+		}
+		if out.TestScore <= 0 {
+			t.Errorf("%v: test score %v", method, out.TestScore)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	train, test := smallData(t)
+	if _, err := Run(train, test, Options{}); err == nil {
+		t.Error("nil space accepted")
+	}
+	bad := train.Select([]int{0, 1, 2})
+	bad.Class = bad.Class[:1]
+	if _, err := Run(bad, test, Options{Space: smallSpace(t)}); err == nil {
+		t.Error("invalid train accepted")
+	}
+}
+
+func TestRunRegression(t *testing.T) {
+	spec, err := dataset.SpecByName("kc-house")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = spec.Scaled(0.15)
+	train, test, err := dataset.Synthesize(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataset.Standardize(train, test)
+	base := fastBase()
+	base.Activation = nn.Tanh
+	out, err := Run(train, test, Options{
+		Method:     SHA,
+		Variant:    Enhanced,
+		Space:      smallSpace(t),
+		Base:       base,
+		MaxConfigs: 4,
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TestScore < 0.2 {
+		t.Errorf("regression R2 %v too low", out.TestScore)
+	}
+}
+
+func TestRunUseF1(t *testing.T) {
+	train, test := smallData(t)
+	out, err := Run(train, test, Options{
+		Method:     SHA,
+		Space:      smallSpace(t),
+		Base:       fastBase(),
+		MaxConfigs: 4,
+		UseF1:      true,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TestScore < 0 || out.TestScore > 1 {
+		t.Errorf("F1 %v out of range", out.TestScore)
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	for _, s := range []string{"random", "sha", "hyperband", "bohb", "asha", "pasha", "dehb", "smac", "tpe", "grid"} {
+		m, err := ParseMethod(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.String() != s {
+			t.Errorf("round-trip %q -> %q", s, m.String())
+		}
+	}
+	if m, err := ParseMethod("hb"); err != nil || m != Hyperband {
+		t.Error("hb alias broken")
+	}
+	if _, err := ParseMethod("sgd"); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Vanilla.String() != "vanilla" || Enhanced.String() != "enhanced" {
+		t.Error("variant names wrong")
+	}
+}
+
+func TestRunDeterministicBest(t *testing.T) {
+	train, test := smallData(t)
+	space := smallSpace(t)
+	opts := Options{Method: SHA, Space: space, Base: fastBase(), MaxConfigs: 4, Seed: 6}
+	o1, err := Run(train, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Run(train, test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Search.Best.ID() != o2.Search.Best.ID() {
+		t.Fatal("same seed picked different configs")
+	}
+	if o1.TestScore != o2.TestScore {
+		t.Fatal("same seed produced different test scores")
+	}
+}

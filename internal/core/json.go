@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"enhancedbhpo/internal/trace"
+)
+
+// OutcomeJSON is the machine-readable form of an optimization outcome, for
+// pipelines that consume bhpo's results (dashboards, sweep drivers).
+type OutcomeJSON struct {
+	Method      string             `json:"method"`
+	Best        map[string]any     `json:"best"`
+	BestID      string             `json:"best_id"`
+	BestScore   float64            `json:"best_cv_score"`
+	TrainScore  float64            `json:"train_score"`
+	TestScore   float64            `json:"test_score"`
+	Evaluations int                `json:"evaluations"`
+	TotalBudget int                `json:"total_instance_budget"`
+	SetupSec    float64            `json:"setup_seconds"`
+	SearchSec   float64            `json:"search_seconds"`
+	TotalSec    float64            `json:"total_seconds"`
+	Rounds      []OutcomeRoundJSON `json:"rounds"`
+}
+
+// OutcomeRoundJSON summarizes one halving round.
+type OutcomeRoundJSON struct {
+	Round       int     `json:"round"`
+	Evaluations int     `json:"evaluations"`
+	Budget      int     `json:"budget"`
+	BestScore   float64 `json:"best_score"`
+	MeanScore   float64 `json:"mean_score"`
+}
+
+// JSON converts the outcome for serialization.
+func (o *Outcome) JSON() OutcomeJSON {
+	best := map[string]any{}
+	cfg := o.Search.Best
+	if sp := cfg.Space(); sp != nil {
+		for _, dim := range sp.Dims {
+			best[dim.Name] = cfg.Value(dim.Name)
+		}
+	}
+	out := OutcomeJSON{
+		Method:      o.Search.Method,
+		Best:        best,
+		BestID:      cfg.ID(),
+		BestScore:   o.Search.BestScore,
+		TrainScore:  o.TrainScore,
+		TestScore:   o.TestScore,
+		Evaluations: o.Search.Evaluations,
+		TotalBudget: trace.TotalBudget(o.Search.Trials),
+		SetupSec:    seconds(o.SetupTime),
+		SearchSec:   seconds(o.SearchTime),
+		TotalSec:    seconds(o.TotalTime),
+	}
+	for _, rs := range trace.ByRound(o.Search.Trials) {
+		out.Rounds = append(out.Rounds, OutcomeRoundJSON{
+			Round:       rs.Round,
+			Evaluations: rs.Evaluations,
+			Budget:      rs.Budget,
+			BestScore:   rs.BestScore,
+			MeanScore:   rs.MeanScore,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the outcome as indented JSON.
+func (o *Outcome) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(o.JSON()); err != nil {
+		return fmt.Errorf("core: encoding outcome: %w", err)
+	}
+	return nil
+}
+
+func seconds(d time.Duration) float64 { return d.Seconds() }

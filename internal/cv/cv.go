@@ -1,0 +1,148 @@
+// Package cv implements the cross-validation machinery of the paper: the
+// vanilla random and stratified k-fold splitters used by existing
+// bandit-based methods, and the enhanced group-based construction of
+// §III-B (Operation 2) that mixes k_gen "general" folds — stratified over
+// the instance groups to approximate the global distribution — with k_spe
+// "special" folds, each dominated by one group to expose behaviour under a
+// shifted distribution.
+//
+// All builders work on a budget: they sample b_t instances from the full
+// training set (the bandit method's per-configuration budget) and split
+// them into folds. Fold indices refer to rows of the training dataset.
+package cv
+
+import (
+	"fmt"
+
+	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/grouping"
+	"enhancedbhpo/internal/rng"
+)
+
+// Fold is one cross-validation fold: a model is trained on Train and scored
+// on Val. Indices refer to the full training dataset.
+type Fold struct {
+	Train []int
+	Val   []int
+}
+
+// Builder samples a subset of the given budget from d and splits it into k
+// folds. groups may be nil for builders that do not use grouping.
+type Builder interface {
+	// Folds returns k cross-validation folds over a budget-sized subset.
+	Folds(d *dataset.Dataset, groups *grouping.Groups, budget, k int, r *rng.RNG) ([]Fold, error)
+	// Name identifies the builder in experiment output.
+	Name() string
+}
+
+// clampBudget bounds the requested budget to [2k, n] and reports an error
+// when even that is impossible.
+func clampBudget(n, budget, k int) (int, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("cv: need at least 2 folds, got %d", k)
+	}
+	if n < 2*k {
+		return 0, fmt.Errorf("cv: dataset of %d rows cannot support %d folds", n, k)
+	}
+	if budget > n {
+		budget = n
+	}
+	if budget < 2*k {
+		budget = 2 * k
+	}
+	return budget, nil
+}
+
+// partsToFolds converts a disjoint partition of subset indices into k
+// cross-validation folds (fold i validates on part i and trains on the
+// union of the others).
+func partsToFolds(parts [][]int) []Fold {
+	k := len(parts)
+	folds := make([]Fold, k)
+	var total int
+	for _, p := range parts {
+		total += len(p)
+	}
+	for i := range parts {
+		val := append([]int(nil), parts[i]...)
+		train := make([]int, 0, total-len(parts[i]))
+		for j, p := range parts {
+			if j != i {
+				train = append(train, p...)
+			}
+		}
+		folds[i] = Fold{Train: train, Val: val}
+	}
+	return folds
+}
+
+// RandomKFold is the vanilla KFold baseline: a uniformly sampled subset
+// split into k random parts.
+type RandomKFold struct{}
+
+// Folds implements Builder.
+func (RandomKFold) Folds(d *dataset.Dataset, _ *grouping.Groups, budget, k int, r *rng.RNG) ([]Fold, error) {
+	n := d.Len()
+	budget, err := clampBudget(n, budget, k)
+	if err != nil {
+		return nil, err
+	}
+	subset := r.Sample(n, budget)
+	parts := make([][]int, k)
+	for i, idx := range subset {
+		parts[i%k] = append(parts[i%k], idx)
+	}
+	return partsToFolds(parts), nil
+}
+
+// Name implements Builder.
+func (RandomKFold) Name() string { return "random-kfold" }
+
+// StratifiedKFold is the vanilla stratified baseline: the subset is sampled
+// preserving class proportions and each part preserves them too. For
+// regression datasets it stratifies over magnitude bins of the target.
+type StratifiedKFold struct {
+	// RegressionBins is the bin count used to stratify regression targets.
+	// 0 selects 4.
+	RegressionBins int
+}
+
+// Folds implements Builder.
+func (s StratifiedKFold) Folds(d *dataset.Dataset, _ *grouping.Groups, budget, k int, r *rng.RNG) ([]Fold, error) {
+	n := d.Len()
+	budget, err := clampBudget(n, budget, k)
+	if err != nil {
+		return nil, err
+	}
+	labels, numCats := stratifyLabels(d, s.RegressionBins)
+	subset := dataset.StratifiedIndices(r, labels, numCats, budget)
+	// Distribute each class round-robin over the k parts to keep parts
+	// stratified.
+	byClass := make(map[int][]int)
+	for _, idx := range subset {
+		c := labels[idx]
+		byClass[c] = append(byClass[c], idx)
+	}
+	parts := make([][]int, k)
+	slot := 0
+	for c := 0; c < numCats; c++ {
+		for _, idx := range byClass[c] {
+			parts[slot%k] = append(parts[slot%k], idx)
+			slot++
+		}
+	}
+	return partsToFolds(parts), nil
+}
+
+// Name implements Builder.
+func (s StratifiedKFold) Name() string { return "stratified-kfold" }
+
+func stratifyLabels(d *dataset.Dataset, regressionBins int) (labels []int, numCats int) {
+	if d.Kind == dataset.Classification {
+		return d.Class, d.NumClasses
+	}
+	if regressionBins <= 0 {
+		regressionBins = 4
+	}
+	return dataset.BinRegressionTargets(d.Target, regressionBins), regressionBins
+}

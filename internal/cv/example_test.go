@@ -1,0 +1,51 @@
+package cv_test
+
+import (
+	"fmt"
+
+	"enhancedbhpo/internal/cv"
+	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/grouping"
+	"enhancedbhpo/internal/mat"
+	"enhancedbhpo/internal/rng"
+)
+
+// GroupFolds builds the paper's 3 general + 2 special folds from a 100-
+// instance budget: a disjoint partition where each fold validates once.
+func ExampleGroupFolds() {
+	// A small two-blob dataset.
+	r := rng.New(1)
+	n := 200
+	x := mat.NewDense(n, 2)
+	class := make([]int, n)
+	for i := 0; i < n; i++ {
+		blob := i % 2
+		class[i] = blob
+		center := -3.0
+		if blob == 1 {
+			center = 3.0
+		}
+		x.Set(i, 0, center+r.Norm())
+		x.Set(i, 1, center+r.Norm())
+	}
+	d := &dataset.Dataset{Name: "blobs", Kind: dataset.Classification, X: x, Class: class, NumClasses: 2}
+
+	groups, err := grouping.Build(d, grouping.Options{V: 2}, rng.New(2))
+	if err != nil {
+		panic(err)
+	}
+	builder := cv.GroupFolds{KGen: 3, KSpe: 2}
+	folds, err := builder.Folds(d, groups, 100, 5, rng.New(3))
+	if err != nil {
+		panic(err)
+	}
+	total := 0
+	for _, f := range folds {
+		total += len(f.Val)
+	}
+	fmt.Printf("%d folds over a %d-instance subset\n", len(folds), total)
+	fmt.Println("builder:", builder.Name())
+	// Output:
+	// 5 folds over a 100-instance subset
+	// builder: group-folds(3+2)
+}

@@ -1,0 +1,185 @@
+package cv
+
+import (
+	"fmt"
+
+	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/grouping"
+	"enhancedbhpo/internal/rng"
+)
+
+// DefaultSpecialBias is the paper's suggested composition for special folds:
+// "samples several instances from ω_i (e.g., 80% of the fold) and some
+// instances from remaining groups (e.g., 20% of the fold)".
+const DefaultSpecialBias = 0.8
+
+// GroupFolds is the paper's enhanced fold construction (Operation 2). The
+// budget subset is drawn from the instance groups and partitioned into
+// KGen general folds — each stratified across groups so it mirrors the
+// global distribution — and KSpe special folds — fold i drawing
+// SpecialBias of its instances from group (i mod v) and the rest stratified
+// from the other groups.
+type GroupFolds struct {
+	// KGen is the number of general folds. The paper's HPO experiments use 3.
+	KGen int
+	// KSpe is the number of special folds. The paper's HPO experiments use 2;
+	// §III-B sets it to the group count v for standalone cross-validation.
+	KSpe int
+	// SpecialBias is the fraction of a special fold drawn from its focus
+	// group. 0 selects DefaultSpecialBias.
+	SpecialBias float64
+}
+
+// Name implements Builder.
+func (g GroupFolds) Name() string { return fmt.Sprintf("group-folds(%d+%d)", g.KGen, g.KSpe) }
+
+// Folds implements Builder. The k argument is validated against KGen+KSpe;
+// pass k = KGen+KSpe (callers that sweep fold allocations construct the
+// builder per allocation).
+func (g GroupFolds) Folds(d *dataset.Dataset, groups *grouping.Groups, budget, k int, r *rng.RNG) ([]Fold, error) {
+	if groups == nil {
+		return nil, fmt.Errorf("cv: group folds require groups")
+	}
+	if g.KGen < 0 || g.KSpe < 0 || g.KGen+g.KSpe < 2 {
+		return nil, fmt.Errorf("cv: invalid fold allocation %d general + %d special", g.KGen, g.KSpe)
+	}
+	if k != g.KGen+g.KSpe {
+		return nil, fmt.Errorf("cv: k=%d but builder allocates %d+%d folds", k, g.KGen, g.KSpe)
+	}
+	n := d.Len()
+	if len(groups.Assign) != n {
+		return nil, fmt.Errorf("cv: groups cover %d instances, dataset has %d", len(groups.Assign), n)
+	}
+	budget, err := clampBudget(n, budget, k)
+	if err != nil {
+		return nil, err
+	}
+	bias := g.SpecialBias
+	if bias <= 0 {
+		bias = DefaultSpecialBias
+	}
+	if bias >= 1 {
+		bias = 0.95
+	}
+
+	// Pool of still-available indices per group.
+	pool := make([][]int, groups.V)
+	for gi := range pool {
+		pool[gi] = append([]int(nil), groups.Members[gi]...)
+		r.Shuffle(pool[gi])
+	}
+	available := budget // how many instances we may still claim
+	foldSize := budget / k
+
+	take := func(gi, want int) []int {
+		if want > len(pool[gi]) {
+			want = len(pool[gi])
+		}
+		// Copy: callers append to the result, and a view of pool's backing
+		// array would let that append overwrite not-yet-claimed entries.
+		out := append([]int(nil), pool[gi][:want]...)
+		pool[gi] = pool[gi][want:]
+		return out
+	}
+	poolTotal := func() int {
+		t := 0
+		for _, p := range pool {
+			t += len(p)
+		}
+		return t
+	}
+	// takeStratified claims want instances spread across groups
+	// proportionally to the remaining pool sizes, skipping group exclude
+	// (-1 for none).
+	takeStratified := func(want, exclude int) []int {
+		out := make([]int, 0, want)
+		for want > 0 {
+			total := 0
+			for gi, p := range pool {
+				if gi != exclude {
+					total += len(p)
+				}
+			}
+			if total == 0 {
+				if exclude >= 0 && len(pool[exclude]) > 0 {
+					out = append(out, take(exclude, want)...)
+				}
+				break
+			}
+			progressed := false
+			for gi := range pool {
+				if gi == exclude || len(pool[gi]) == 0 || want == 0 {
+					continue
+				}
+				share := want * len(pool[gi]) / total
+				if share == 0 {
+					share = 1
+				}
+				if share > want {
+					share = want
+				}
+				got := take(gi, share)
+				out = append(out, got...)
+				want -= len(got)
+				if len(got) > 0 {
+					progressed = true
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+		return out
+	}
+
+	parts := make([][]int, 0, k)
+	// Special folds first: they have the strictest composition needs.
+	for i := 0; i < g.KSpe; i++ {
+		focus := i % groups.V
+		fromFocus := int(float64(foldSize) * bias)
+		if fromFocus < 1 {
+			fromFocus = 1
+		}
+		part := take(focus, fromFocus)
+		rest := foldSize - len(part)
+		if rest > 0 {
+			part = append(part, takeStratified(rest, focus)...)
+		}
+		r.Shuffle(part)
+		parts = append(parts, part)
+		available -= len(part)
+	}
+	// General folds: stratified across all groups.
+	for i := 0; i < g.KGen; i++ {
+		size := foldSize
+		if i == g.KGen-1 {
+			// Give the last general fold the rounding remainder.
+			size = available - (g.KGen-1-i)*foldSize
+			if size < foldSize {
+				size = foldSize
+			}
+		}
+		if pt := poolTotal(); size > pt {
+			size = pt
+		}
+		if size <= 0 {
+			return nil, fmt.Errorf("cv: pool exhausted constructing general fold %d", i)
+		}
+		part := takeStratified(size, -1)
+		r.Shuffle(part)
+		parts = append(parts, part)
+		available -= len(part)
+	}
+	// Drop any empty parts defensively (possible with tiny budgets and many
+	// groups) and fail if that leaves fewer than 2 folds.
+	nonEmpty := parts[:0]
+	for _, p := range parts {
+		if len(p) > 0 {
+			nonEmpty = append(nonEmpty, p)
+		}
+	}
+	if len(nonEmpty) < 2 {
+		return nil, fmt.Errorf("cv: budget %d too small for %d folds", budget, k)
+	}
+	return partsToFolds(nonEmpty), nil
+}

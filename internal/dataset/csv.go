@@ -1,0 +1,125 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"enhancedbhpo/internal/mat"
+)
+
+// CSV import/export so users can bring their own data instead of the
+// synthetic generators. Format: a header row of feature names plus a final
+// "label" (classification) or "target" (regression) column; one instance
+// per row.
+
+// WriteCSV writes d to w with a header row. Classification labels are
+// written as integers, regression targets as floats.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	f := d.Features()
+	header := make([]string, f+1)
+	for j := 0; j < f; j++ {
+		header[j] = fmt.Sprintf("f%d", j)
+	}
+	if d.Kind == Classification {
+		header[f] = "label"
+	} else {
+		header[f] = "target"
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing header: %w", err)
+	}
+	row := make([]string, f+1)
+	for i := 0; i < d.Len(); i++ {
+		xr := d.X.Row(i)
+		for j, v := range xr {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if d.Kind == Classification {
+			row[f] = strconv.Itoa(d.Class[i])
+		} else {
+			row[f] = strconv.FormatFloat(d.Target[i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or any CSV whose last
+// column is the label/target). kind selects how to interpret the final
+// column; name labels the resulting dataset.
+func ReadCSV(r io.Reader, kind Kind, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for a better error message
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("dataset: csv has no data rows")
+	}
+	width := len(records[0])
+	if width < 2 {
+		return nil, fmt.Errorf("dataset: csv needs at least one feature and a label column")
+	}
+	f := width - 1
+	n := len(records) - 1
+	x := mat.NewDense(n, f)
+	d := &Dataset{Name: name, Kind: kind, X: x}
+	if kind == Classification {
+		d.Class = make([]int, n)
+	} else {
+		d.Target = make([]float64, n)
+	}
+	maxClass := 0
+	for i, rec := range records[1:] {
+		if len(rec) != width {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", i+1, len(rec), width)
+		}
+		row := x.Row(i)
+		for j := 0; j < f; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d field %d: %w", i+1, j, err)
+			}
+			row[j] = v
+		}
+		if kind == Classification {
+			c, err := strconv.Atoi(rec[f])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d label: %w", i+1, err)
+			}
+			if c < 0 {
+				return nil, fmt.Errorf("dataset: row %d: negative label %d", i+1, c)
+			}
+			d.Class[i] = c
+			if c > maxClass {
+				maxClass = c
+			}
+		} else {
+			t, err := strconv.ParseFloat(rec[f], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d target: %w", i+1, err)
+			}
+			d.Target[i] = t
+		}
+	}
+	if kind == Classification {
+		d.NumClasses = maxClass + 1
+		if d.NumClasses < 2 {
+			return nil, fmt.Errorf("dataset: csv has a single class")
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTripClassification(t *testing.T) {
+	d := smallClassification()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, Classification, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.Features() != d.Features() {
+		t.Fatalf("shape %dx%d, want %dx%d", back.Len(), back.Features(), d.Len(), d.Features())
+	}
+	if back.NumClasses != d.NumClasses {
+		t.Fatalf("classes %d", back.NumClasses)
+	}
+	for i := 0; i < d.Len(); i++ {
+		if back.Class[i] != d.Class[i] {
+			t.Fatalf("label %d differs", i)
+		}
+		for j := 0; j < d.Features(); j++ {
+			if back.X.At(i, j) != d.X.At(i, j) {
+				t.Fatalf("feature (%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTripRegression(t *testing.T) {
+	spec, _ := SpecByName("kc-house")
+	spec = spec.Scaled(0.02)
+	d, _ := MustSynthesize(spec, 31)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], "target") {
+		t.Fatal("regression header missing target column")
+	}
+	back, err := ReadCSV(&buf, Regression, "housing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Target {
+		if back.Target[i] != d.Target[i] {
+			t.Fatalf("target %d differs", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"no data rows":   "f0,label\n",
+		"one column":     "label\n1\n",
+		"bad feature":    "f0,label\nx,1\n1,0\n",
+		"bad label":      "f0,label\n1,x\n2,0\n",
+		"negative label": "f0,label\n1,-1\n2,0\n",
+		"single class":   "f0,label\n1,0\n2,0\n",
+		"ragged row":     "f0,f1,label\n1,2,0\n1,1\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data), Classification, "bad"); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := ReadCSV(strings.NewReader("f0,target\n1,x\n"), Regression, "bad"); err == nil {
+		t.Error("bad regression target accepted")
+	}
+}
+
+func TestReadCSVForeignFormat(t *testing.T) {
+	// Any CSV with the label in the last column should load.
+	data := "sepal,petal,species\n5.1,1.4,0\n4.9,1.5,1\n6.2,4.5,1\n"
+	d, err := ReadCSV(strings.NewReader(data), Classification, "iris-ish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || d.Features() != 2 || d.NumClasses != 2 {
+		t.Fatalf("parsed %dx%d with %d classes", d.Len(), d.Features(), d.NumClasses)
+	}
+}

@@ -1,0 +1,37 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV exercises the CSV parser with arbitrary input: it must never
+// panic, and any dataset it accepts must validate.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("f0,label\n1,0\n2,1\n")
+	f.Add("f0,f1,label\n1.5,-2,0\n0,3,1\n9,9,1\n")
+	f.Add("f0,target\n1,0.5\n2,1.5\n")
+	f.Add("")
+	f.Add("a,b\n\x00,1\n")
+	f.Add("f0,label\n1e309,0\n1,1\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		for _, kind := range []Kind{Classification, Regression} {
+			d, err := ReadCSV(strings.NewReader(data), kind, "fuzz")
+			if err != nil {
+				continue
+			}
+			if vErr := d.Validate(); vErr != nil {
+				t.Fatalf("accepted dataset fails validation: %v", vErr)
+			}
+			// Round trip must also parse.
+			var buf bytes.Buffer
+			if wErr := d.WriteCSV(&buf); wErr != nil {
+				t.Fatalf("accepted dataset fails to serialize: %v", wErr)
+			}
+			if _, rErr := ReadCSV(&buf, kind, "fuzz2"); rErr != nil {
+				t.Fatalf("round trip failed: %v", rErr)
+			}
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the label pre-processing from §III-A:
+//
+//   - MergeRareClasses: "when dealing with highly imbalanced datasets where
+//     there are very few instances in a certain class (less than n/u × 10%),
+//     we merge that class with other less frequent classes".
+//   - BinRegressionTargets: "for the regression problem without
+//     classification labels, we can directly divide numerical labels based
+//     on their magnitude and assign them to different categories".
+//
+// Both produce the per-instance label category c_i^y consumed by grouping.
+
+// DefaultRareClassRatio is the paper's 10% threshold relative to the mean
+// class size n/u.
+const DefaultRareClassRatio = 0.10
+
+// LabelCategories returns the per-instance label category c_i^y for any
+// dataset kind: raw (possibly merged) classes for classification, and
+// magnitude bins for regression.
+func LabelCategories(d *Dataset, rareRatio float64, regressionBins int) (labels []int, numCategories int) {
+	if d.Kind == Classification {
+		return MergeRareClasses(d.Class, d.NumClasses, rareRatio)
+	}
+	return BinRegressionTargets(d.Target, regressionBins), regressionBins
+}
+
+// MergeRareClasses maps the original classes onto a possibly smaller
+// category set: any class with fewer than rareRatio·(n/u) instances is
+// merged with the other rare classes into one shared category. When at most
+// one class is rare there is nothing to merge with and the identity mapping
+// is returned. The returned labels are re-indexed densely from 0.
+func MergeRareClasses(class []int, numClasses int, rareRatio float64) (labels []int, numCategories int) {
+	n := len(class)
+	if n == 0 || numClasses == 0 {
+		return nil, 0
+	}
+	counts := make([]int, numClasses)
+	for _, c := range class {
+		if c < 0 || c >= numClasses {
+			panic(fmt.Sprintf("dataset: class %d out of [0,%d)", c, numClasses))
+		}
+		counts[c]++
+	}
+	threshold := rareRatio * float64(n) / float64(numClasses)
+	rare := make([]bool, numClasses)
+	rareCount := 0
+	for c, cnt := range counts {
+		if cnt > 0 && float64(cnt) < threshold {
+			rare[c] = true
+			rareCount++
+		}
+	}
+	if rareCount <= 1 {
+		// Nothing to merge (a single rare class has no "other less frequent
+		// classes" to join).
+		out := append([]int(nil), class...)
+		return out, numClasses
+	}
+	// Dense re-index: non-rare classes keep distinct categories in class
+	// order; all rare classes share one trailing category.
+	mapping := make([]int, numClasses)
+	next := 0
+	for c := 0; c < numClasses; c++ {
+		if !rare[c] {
+			mapping[c] = next
+			next++
+		}
+	}
+	mergedCat := next
+	for c := 0; c < numClasses; c++ {
+		if rare[c] {
+			mapping[c] = mergedCat
+		}
+	}
+	labels = make([]int, n)
+	for i, c := range class {
+		labels[i] = mapping[c]
+	}
+	return labels, mergedCat + 1
+}
+
+// BinRegressionTargets divides real targets into bins of (approximately)
+// equal population by magnitude quantiles and returns the per-instance bin
+// index. bins must be at least 2.
+func BinRegressionTargets(target []float64, bins int) []int {
+	if bins < 2 {
+		panic(fmt.Sprintf("dataset: regression bins %d < 2", bins))
+	}
+	n := len(target)
+	out := make([]int, n)
+	if n == 0 {
+		return out
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return target[order[a]] < target[order[b]] })
+	for rank, idx := range order {
+		b := rank * bins / n
+		if b >= bins {
+			b = bins - 1
+		}
+		out[idx] = b
+	}
+	// Instances with identical target values must land in the same bin:
+	// sweep the sorted order and pull ties down to the first occurrence's bin.
+	for k := 1; k < n; k++ {
+		prev, cur := order[k-1], order[k]
+		if target[prev] == target[cur] && out[prev] != out[cur] {
+			out[cur] = out[prev]
+		}
+	}
+	return out
+}

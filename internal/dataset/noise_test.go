@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"enhancedbhpo/internal/rng"
+)
+
+func TestCorruptLabelsRate(t *testing.T) {
+	spec, _ := SpecByName("usps")
+	spec = spec.Scaled(0.5)
+	d, _ := MustSynthesize(spec, 41)
+	r := rng.New(42)
+	rate := 0.2
+	noisy := d.CorruptLabels(r, rate)
+	if noisy.Len() != d.Len() {
+		t.Fatalf("size changed: %d", noisy.Len())
+	}
+	changed := 0
+	for i := range d.Class {
+		if noisy.Class[i] != d.Class[i] {
+			changed++
+		}
+	}
+	got := float64(changed) / float64(d.Len())
+	if math.Abs(got-rate) > 0.05 {
+		t.Fatalf("corruption rate %v, want ~%v", got, rate)
+	}
+	// Original untouched.
+	for i := 0; i < d.Len(); i++ {
+		if d.Class[i] < 0 || d.Class[i] >= d.NumClasses {
+			t.Fatal("original labels mutated")
+		}
+	}
+	// Labels stay in range and corrupted ones genuinely differ.
+	if err := noisy.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptLabelsZeroRateIsCopy(t *testing.T) {
+	spec, _ := SpecByName("australian")
+	spec = spec.Scaled(0.2)
+	d, _ := MustSynthesize(spec, 43)
+	noisy := d.CorruptLabels(rng.New(1), 0)
+	for i := range d.Class {
+		if noisy.Class[i] != d.Class[i] {
+			t.Fatal("zero-rate corruption changed labels")
+		}
+	}
+	// Independent storage.
+	noisy.Class[0] = (noisy.Class[0] + 1) % d.NumClasses
+	if d.Class[0] == noisy.Class[0] && d.Class[1] == noisy.Class[1] {
+		// Only fails if aliased; check explicitly:
+		t.Log("labels coincide after mutation; verifying storage independence")
+	}
+	noisy.X.Set(0, 0, 12345)
+	if d.X.At(0, 0) == 12345 {
+		t.Fatal("feature storage aliased")
+	}
+}
+
+func TestCorruptLabelsPanics(t *testing.T) {
+	spec, _ := SpecByName("kc-house")
+	spec = spec.Scaled(0.05)
+	reg, _ := MustSynthesize(spec, 44)
+	assertPanics(t, "regression", func() { reg.CorruptLabels(rng.New(1), 0.1) })
+	cls := smallClassification()
+	assertPanics(t, "bad rate", func() { cls.CorruptLabels(rng.New(1), 1.5) })
+}
+
+func TestAddFeatureNoise(t *testing.T) {
+	d := smallClassification()
+	noisy := d.AddFeatureNoise(rng.New(5), 0.5)
+	var diff float64
+	for i := 0; i < d.Len(); i++ {
+		for j := 0; j < d.Features(); j++ {
+			diff += math.Abs(noisy.X.At(i, j) - d.X.At(i, j))
+		}
+	}
+	if diff == 0 {
+		t.Fatal("no noise added")
+	}
+	same := d.AddFeatureNoise(rng.New(5), 0)
+	for i := 0; i < d.Len(); i++ {
+		for j := 0; j < d.Features(); j++ {
+			if same.X.At(i, j) != d.X.At(i, j) {
+				t.Fatal("sigma=0 changed features")
+			}
+		}
+	}
+	assertPanics(t, "negative sigma", func() { d.AddFeatureNoise(rng.New(1), -1) })
+}
+
+func TestCorruptTargets(t *testing.T) {
+	spec, _ := SpecByName("kc-house")
+	spec = spec.Scaled(0.1)
+	d, _ := MustSynthesize(spec, 45)
+	noisy := d.CorruptTargets(rng.New(6), 0.3, 2)
+	changed := 0
+	for i := range d.Target {
+		if noisy.Target[i] != d.Target[i] {
+			changed++
+		}
+	}
+	rate := float64(changed) / float64(d.Len())
+	if rate < 0.15 || rate > 0.45 {
+		t.Fatalf("target corruption rate %v, want ~0.3", rate)
+	}
+	clean := d.CorruptTargets(rng.New(6), 0, 2)
+	for i := range d.Target {
+		if clean.Target[i] != d.Target[i] {
+			t.Fatal("zero-rate corruption changed targets")
+		}
+	}
+	cls := smallClassification()
+	assertPanics(t, "classification", func() { cls.CorruptTargets(rng.New(1), 0.1, 1) })
+	assertPanics(t, "bad rate", func() { d.CorruptTargets(rng.New(1), -0.1, 1) })
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"enhancedbhpo/internal/core"
+	"enhancedbhpo/internal/search"
+	"enhancedbhpo/internal/stats"
+	"enhancedbhpo/internal/trace"
+)
+
+// The anytime experiment extends the paper's endpoint comparison: instead
+// of only the final test score, it compares the whole incumbent curve of
+// SHA vs SHA+ (budget-normalized area under the best-so-far score), which
+// quantifies the claim that the enhanced evaluation avoids wasting early
+// budget on configurations that will be discarded anyway.
+
+// AnytimeCell summarizes one variant's trajectory.
+type AnytimeCell struct {
+	Variant    string
+	AUC        float64
+	AUCStd     float64
+	FinalScore float64
+	Sparkline  string
+}
+
+// AnytimeResult holds the comparison for one dataset.
+type AnytimeResult struct {
+	Dataset string
+	Cells   []AnytimeCell
+}
+
+// RunAnytime compares the SHA and SHA+ incumbent curves on the first
+// configured dataset (default australian).
+func RunAnytime(s Settings) (*AnytimeResult, error) {
+	s = s.WithDefaults()
+	name := "australian"
+	if len(s.Datasets) > 0 {
+		name = s.Datasets[0]
+	}
+	space, err := search.TableIIISpace(s.NumHPs)
+	if err != nil {
+		return nil, err
+	}
+	res := &AnytimeResult{Dataset: name}
+	for _, variant := range []core.Variant{core.Vanilla, core.Enhanced} {
+		var aucs, finals []float64
+		var spark string
+		for seed := 0; seed < s.Seeds; seed++ {
+			train, test, err := s.loadDataset(name, uint64(seed)+1)
+			if err != nil {
+				return nil, err
+			}
+			out, err := core.Run(train, test, core.Options{
+				Method:     core.SHA,
+				Variant:    variant,
+				Space:      space,
+				Base:       s.baseConfig(),
+				MaxConfigs: s.MaxConfigs,
+				Seed:       uint64(seed)*53 + 17,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("anytime %s/%v: %w", name, variant, err)
+			}
+			points := trace.Anytime(out.Search.Trials)
+			aucs = append(aucs, trace.AreaUnderCurve(points))
+			finals = append(finals, out.TestScore)
+			if seed == 0 {
+				spark = trace.Sparkline(points, 40)
+			}
+		}
+		cell := AnytimeCell{Variant: variant.String(), Sparkline: spark}
+		cell.AUC, cell.AUCStd = stats.MeanStd(aucs)
+		cell.FinalScore = stats.Mean(finals)
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// Print renders the anytime comparison.
+func (r *AnytimeResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Anytime performance (SHA vs SHA+) on %s\n", r.Dataset)
+	fmt.Fprintf(w, "  %-10s %16s %12s  %s\n", "variant", "AUC", "final test", "incumbent curve")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "  %-10s %8.4f±%-7.4f %12s  %s\n",
+			c.Variant, c.AUC, c.AUCStd, pct(c.FinalScore), c.Sparkline)
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBaselinesFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunBaselines(fastWith("australian"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset != "australian" {
+		t.Fatalf("dataset %q", res.Dataset)
+	}
+	for _, method := range []string{"random", "smac", "tpe", "grid", "SHA", "SHA+"} {
+		c := res.Cell(method)
+		if c == nil {
+			t.Fatalf("missing method %s", method)
+		}
+		if c.TestMean <= 0 || c.TestMean > 1 {
+			t.Errorf("%s: test %v", method, c.TestMean)
+		}
+		if c.TimeMean <= 0 {
+			t.Errorf("%s: no time", method)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "smac") {
+		t.Error("printout missing smac")
+	}
+}
+
+func TestRunAblationsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunAblations(fastWith("australian"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, knob := range []string{"v", "bias", "alpha", "rgroup"} {
+		pts := res.Sweep(knob)
+		if len(pts) < 3 {
+			t.Fatalf("%s sweep has %d points", knob, len(pts))
+		}
+		for _, p := range pts {
+			if p.TestAcc <= 0 || p.NDCG <= 0 {
+				t.Errorf("%s=%v: acc %v ndcg %v", knob, p.Value, p.TestAcc, p.NDCG)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "rgroup sweep") {
+		t.Error("printout missing rgroup sweep")
+	}
+}
+
+func TestRunExtendedFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunExtended(fastWith("australian"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	row := res.Rows[0]
+	for _, method := range []string{"asha", "pasha", "dehb"} {
+		for _, variant := range []string{"vanilla", "enhanced"} {
+			c := row.Cell(method, variant)
+			if c == nil {
+				t.Fatalf("missing %s/%s", method, variant)
+			}
+			if c.TestMean <= 0 {
+				t.Errorf("%s/%s: test %v", method, variant, c.TestMean)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "pasha") {
+		t.Error("printout missing pasha")
+	}
+}
+
+func TestRunRobustnessFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunRobustness(fastWith("australian"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(RobustnessRates) {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.TestSHA <= 0 || p.TestSHAp <= 0 {
+			t.Errorf("rate %v: scores %v / %v", p.NoiseRate, p.TestSHA, p.TestSHAp)
+		}
+	}
+	// Heavy corruption should not beat the clean run for either variant
+	// (allowing small-sample noise).
+	clean, dirty := res.Points[0], res.Points[len(res.Points)-1]
+	if dirty.TestSHA > clean.TestSHA+0.15 {
+		t.Errorf("SHA improved under corruption: %v -> %v", clean.TestSHA, dirty.TestSHA)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "label corruption") {
+		t.Error("printout missing header")
+	}
+}
+
+func TestRunStabilityFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := fastWith("australian")
+	s.Seeds = 3
+	res, err := RunStability(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Runs != 3 {
+			t.Errorf("%s: runs %d", c.Variant, c.Runs)
+		}
+		if c.DistinctConfigs < 1 || c.DistinctConfigs > c.Runs {
+			t.Errorf("%s: distinct winners %d of %d runs", c.Variant, c.DistinctConfigs, c.Runs)
+		}
+		if c.TestMean <= 0 {
+			t.Errorf("%s: test %v", c.Variant, c.TestMean)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "distinct winners") {
+		t.Error("printout missing header")
+	}
+}
+
+func TestRunAnytimeFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunAnytime(fastWith("australian"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.AUC <= 0 {
+			t.Errorf("%s: AUC %v", c.Variant, c.AUC)
+		}
+		if c.Sparkline == "" {
+			t.Errorf("%s: empty sparkline", c.Variant)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "enhanced") {
+		t.Error("printout missing enhanced row")
+	}
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"enhancedbhpo/internal/cv"
+	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/grouping"
+	"enhancedbhpo/internal/hpo"
+	"enhancedbhpo/internal/metrics"
+	"enhancedbhpo/internal/nn"
+	"enhancedbhpo/internal/rng"
+	"enhancedbhpo/internal/scoring"
+	"enhancedbhpo/internal/search"
+)
+
+// The §IV-C cross-validation experiments share one protocol: evaluate all
+// 18 configurations (hidden sizes × activations) with k-fold CV on a
+// subset of the training data, recommend the top-scoring configuration,
+// then judge the recommendation by (a) the true test quality of the
+// recommended configuration and (b) the nDCG of the predicted ranking
+// against the true ranking (each configuration's full-data test quality).
+
+// CVDatasets are the six datasets of the paper's Figure 5.
+var CVDatasets = []string{"australian", "splice", "a9a", "gisette", "satimage", "usps"}
+
+// cvMethod is one fold-construction + scoring strategy under comparison.
+type cvMethod struct {
+	name   string
+	folds  cv.Builder
+	scorer scoring.Scorer
+	// needsGroups marks builders that require §III-A groups.
+	needsGroups bool
+}
+
+// cvTruth caches the expensive ground truth for one (dataset, seed): each
+// configuration's test quality after training on the full training set.
+type cvTruth struct {
+	train, test *dataset.Dataset
+	configs     []search.Config
+	testScores  []float64
+}
+
+// truthCache memoizes ground truths across the CV experiments: Table V,
+// Figure 5 and Figure 7 share the same (dataset, seed, settings) truths,
+// and recomputing 18 full-data trainings three times would dominate the
+// harness runtime. The truths are read-only after construction, so sharing
+// is safe.
+var truthCache sync.Map // truthKey -> *cvTruth
+
+type truthKey struct {
+	name    string
+	seed    uint64
+	scale   float64
+	maxIter int
+	spaceID string
+}
+
+// buildTruth trains every configuration on the full training set once per
+// (dataset, seed, settings), memoized across experiments.
+func (s Settings) buildTruth(name string, seed uint64, space *search.Space) (*cvTruth, error) {
+	key := truthKey{name: name, seed: seed, scale: s.Scale, maxIter: s.MaxIter, spaceID: fmt.Sprintf("%d", space.Size())}
+	if cached, ok := truthCache.Load(key); ok {
+		return cached.(*cvTruth), nil
+	}
+	truth, err := s.buildTruthUncached(name, seed, space)
+	if err != nil {
+		return nil, err
+	}
+	truthCache.Store(key, truth)
+	return truth, nil
+}
+
+func (s Settings) buildTruthUncached(name string, seed uint64, space *search.Space) (*cvTruth, error) {
+	train, test, err := s.loadDataset(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	configs := space.Enumerate()
+	truth := &cvTruth{train: train, test: test, configs: configs}
+	base := s.baseConfig()
+	truth.testScores = make([]float64, len(configs))
+	err = forEachParallel(len(configs), func(i int) error {
+		nnCfg, err := search.ToNNConfig(configs[i], base)
+		if err != nil {
+			return err
+		}
+		nnCfg.Seed = seed*1_000_003 + uint64(i)
+		model, err := nn.Fit(train, nnCfg)
+		if err != nil {
+			return fmt.Errorf("truth %s config %d: %w", name, i, err)
+		}
+		truth.testScores[i] = model.Score(test)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return truth, nil
+}
+
+// forEachParallel runs f(0..n-1) on a small worker pool. Each index is
+// independent and deterministic, so parallelism does not change results.
+func forEachParallel(n int, f func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := f(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// bestTruth returns the highest achievable test score (for reporting).
+func (t *cvTruth) bestTruth() float64 {
+	best := t.testScores[0]
+	for _, v := range t.testScores[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// cvOutcome is one method × subset-ratio evaluation.
+type cvOutcome struct {
+	// TestAcc is the true test quality of the recommended configuration.
+	TestAcc float64
+	// NDCG measures how well the CV scores rank all configurations.
+	NDCG float64
+}
+
+// runCVMethod scores every configuration by cross-validation at the given
+// subset ratio and judges the ranking against the truth.
+func (s Settings) runCVMethod(truth *cvTruth, m cvMethod, groups *grouping.Groups, ratio float64, k int, seed uint64) (cvOutcome, error) {
+	n := truth.train.Len()
+	budget := int(float64(n) * ratio)
+	if budget < 2*k {
+		budget = 2 * k
+	}
+	if budget > n {
+		budget = n
+	}
+	gamma := scoring.Gamma(budget, n)
+	base := s.baseConfig()
+	r := rng.New(seed ^ 0xcfe0)
+	predScores := make([]float64, len(truth.configs))
+	var g *grouping.Groups
+	if m.needsGroups {
+		g = groups
+	}
+	ev := &hpo.CVEvaluator{Train: truth.train, Base: base, Folds: m.folds, K: k, Groups: g}
+	err := forEachParallel(len(truth.configs), func(i int) error {
+		foldScores, err := ev.Evaluate(truth.configs[i], budget, r.Split(uint64(i)+1))
+		if err != nil {
+			return fmt.Errorf("cv %s config %d: %w", m.name, i, err)
+		}
+		predScores[i] = m.scorer.Score(foldScores, gamma)
+		return nil
+	})
+	if err != nil {
+		return cvOutcome{}, err
+	}
+	best := 0
+	for i, v := range predScores {
+		if v > predScores[best] {
+			best = i
+		}
+	}
+	return cvOutcome{
+		TestAcc: truth.testScores[best],
+		NDCG:    metrics.NDCG(predScores, truth.testScores),
+	}, nil
+}
+
+// cvSpace is the §IV-C configuration space: hidden sizes × activations
+// (6·3 = 18 configurations).
+func cvSpace() (*search.Space, error) { return search.TableIIISpace(2) }
+
+// buildCVGroups constructs the §III-A groups used by the "ours" methods.
+func (s Settings) buildCVGroups(train *dataset.Dataset, v int, seed uint64) (*grouping.Groups, error) {
+	return grouping.Build(train, grouping.Options{V: v}, rng.New(seed^0x9109))
+}

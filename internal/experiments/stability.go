@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"enhancedbhpo/internal/core"
+	"enhancedbhpo/internal/search"
+	"enhancedbhpo/internal/stats"
+)
+
+// The stability experiment quantifies the paper's "Unstable Results"
+// discussion head-on: the same optimization is repeated across seeds and
+// the spread of outcomes is compared between vanilla and enhanced
+// components — standard deviation of the final test score and the number
+// of distinct configurations selected. A stable method selects the same
+// (or an equivalent) configuration regardless of sampling randomness.
+
+// StabilityCell summarizes one variant.
+type StabilityCell struct {
+	Variant string
+	// TestMean and TestStd summarize final test scores across seeds.
+	TestMean, TestStd float64
+	// DistinctConfigs is the number of different winning configurations.
+	DistinctConfigs int
+	// Runs is the number of repetitions.
+	Runs int
+}
+
+// StabilityResult holds the comparison for one dataset.
+type StabilityResult struct {
+	Dataset string
+	Cells   []StabilityCell
+}
+
+// RunStability repeats SHA vs SHA+ across seeds on the first configured
+// dataset (default australian). Settings.Seeds controls the repetition
+// count; the paper uses 5, and more repetitions sharpen the comparison.
+func RunStability(s Settings) (*StabilityResult, error) {
+	s = s.WithDefaults()
+	name := "australian"
+	if len(s.Datasets) > 0 {
+		name = s.Datasets[0]
+	}
+	space, err := search.TableIIISpace(s.NumHPs)
+	if err != nil {
+		return nil, err
+	}
+	res := &StabilityResult{Dataset: name}
+	for _, variant := range []core.Variant{core.Vanilla, core.Enhanced} {
+		var tests []float64
+		chosen := map[string]bool{}
+		for seed := 0; seed < s.Seeds; seed++ {
+			// Same data split every time: only the optimizer's own
+			// randomness varies, which is exactly the instability §II-C
+			// describes.
+			train, test, err := s.loadDataset(name, 1)
+			if err != nil {
+				return nil, err
+			}
+			out, err := core.Run(train, test, core.Options{
+				Method:     core.SHA,
+				Variant:    variant,
+				Space:      space,
+				Base:       s.baseConfig(),
+				MaxConfigs: s.MaxConfigs,
+				Seed:       uint64(seed)*613 + 11,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("stability %s/%v: %w", name, variant, err)
+			}
+			tests = append(tests, out.TestScore)
+			chosen[out.Search.Best.ID()] = true
+		}
+		cell := StabilityCell{Variant: variant.String(), DistinctConfigs: len(chosen), Runs: s.Seeds}
+		cell.TestMean, cell.TestStd = stats.MeanStd(tests)
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// Print renders the stability comparison.
+func (r *StabilityResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Stability across optimizer seeds on %s (fixed data)\n", r.Dataset)
+	fmt.Fprintf(w, "  %-10s %16s %18s\n", "variant", "testAcc(%)", "distinct winners")
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "  %-10s %8s±%-7s %10d/%d\n",
+			c.Variant, pct(c.TestMean), pct(c.TestStd), c.DistinctConfigs, c.Runs)
+	}
+}

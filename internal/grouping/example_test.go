@@ -1,0 +1,20 @@
+package grouping_test
+
+import (
+	"fmt"
+
+	"enhancedbhpo/internal/grouping"
+)
+
+// GenGroups (Operation 1) merges feature clusters with label categories.
+// Here cluster 0 is dominated by class 0 and cluster 1 by class 1; the
+// stray class-1 instance sitting in cluster 0 is pulled to group 1 in
+// stage 2 because class 1 is proportionally strongest in cluster 1.
+func ExampleGenGroups() {
+	clusterOf := []int{0, 0, 0, 0, 1, 1, 1, 0}
+	classOf := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	groups := grouping.GenGroups(clusterOf, 2, classOf, 2, 1)
+	fmt.Println(groups)
+	// Output:
+	// [0 0 0 0 1 1 1 1]
+}

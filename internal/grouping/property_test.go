@@ -1,0 +1,89 @@
+package grouping
+
+import (
+	"testing"
+	"testing/quick"
+
+	"enhancedbhpo/internal/rng"
+)
+
+// Property tests for Operation 1's structural invariants.
+
+func TestGenGroupsPropertyTotalAssignment(t *testing.T) {
+	f := func(seed uint64, nRaw, vRaw, cRaw uint8) bool {
+		r := rng.New(seed)
+		n := 10 + int(nRaw)%200
+		v := 2 + int(vRaw)%4    // 2..5 clusters, the paper's range
+		cats := 2 + int(cRaw)%8 // 2..9 label categories
+		clusterOf := make([]int, n)
+		catOf := make([]int, n)
+		for i := 0; i < n; i++ {
+			clusterOf[i] = r.Intn(v)
+			catOf[i] = r.Intn(cats)
+		}
+		assign := GenGroups(clusterOf, v, catOf, cats, 0)
+		if len(assign) != n {
+			return false
+		}
+		for _, g := range assign {
+			if g < 0 || g >= v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenGroupsPropertyCategoryCohesion(t *testing.T) {
+	// Stage 2 assigns every *unclaimed* category wholesale to one group:
+	// therefore each (category, cluster) pair must land in a single group.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 120
+		v, cats := 3, 4
+		clusterOf := make([]int, n)
+		catOf := make([]int, n)
+		for i := 0; i < n; i++ {
+			clusterOf[i] = r.Intn(v)
+			catOf[i] = r.Intn(cats)
+		}
+		assign := GenGroups(clusterOf, v, catOf, cats, 1)
+		type key struct{ cat, cluster int }
+		seen := map[key]int{}
+		for i := 0; i < n; i++ {
+			k := key{catOf[i], clusterOf[i]}
+			if prev, ok := seen[k]; ok {
+				if prev != assign[i] {
+					return false
+				}
+			} else {
+				seen[k] = assign[i]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenGroupsDeterministic(t *testing.T) {
+	r := rng.New(77)
+	n := 100
+	clusterOf := make([]int, n)
+	catOf := make([]int, n)
+	for i := 0; i < n; i++ {
+		clusterOf[i] = r.Intn(3)
+		catOf[i] = r.Intn(3)
+	}
+	a1 := GenGroups(clusterOf, 3, catOf, 3, 1)
+	a2 := GenGroups(clusterOf, 3, catOf, 3, 1)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("GenGroups not deterministic")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package hpo
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"enhancedbhpo/internal/rng"
+	"enhancedbhpo/internal/search"
+)
+
+// failingEvaluator fails every evaluation after the first failAfter calls —
+// failure injection to check that every optimizer surfaces evaluation
+// errors instead of swallowing them or deadlocking.
+type failingEvaluator struct {
+	mu        sync.Mutex
+	calls     int
+	failAfter int
+	inner     *fakeEvaluator
+}
+
+var errInjected = errors.New("injected evaluation failure")
+
+func (f *failingEvaluator) FullBudget() int { return f.inner.full }
+
+func (f *failingEvaluator) Evaluate(c search.Config, budget int, r *rng.RNG) ([]float64, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	f.mu.Unlock()
+	if n > f.failAfter {
+		return nil, errInjected
+	}
+	return f.inner.Evaluate(c, budget, r)
+}
+
+func newFailing(failAfter int) (*search.Space, *failingEvaluator) {
+	space, quality := gradedSpace()
+	inner := &fakeEvaluator{space: space, full: 1600, quality: quality, noise: 0.001}
+	return space, &failingEvaluator{failAfter: failAfter, inner: inner}
+}
+
+func TestOptimizersSurfaceEvaluationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(space *search.Space, ev Evaluator) error
+	}{
+		{"sha", func(space *search.Space, ev Evaluator) error {
+			_, err := SuccessiveHalving(space.Enumerate(), ev, vanComps(), SHAOptions{Seed: 1})
+			return err
+		}},
+		{"sha-parallel", func(space *search.Space, ev Evaluator) error {
+			_, err := SuccessiveHalving(space.Enumerate(), ev, vanComps(), SHAOptions{Seed: 1, Workers: 4})
+			return err
+		}},
+		{"random", func(space *search.Space, ev Evaluator) error {
+			_, err := RandomSearch(space, ev, vanComps(), RandomSearchOptions{N: 8, Seed: 1})
+			return err
+		}},
+		{"hyperband", func(space *search.Space, ev Evaluator) error {
+			_, err := Hyperband(space, ev, vanComps(), HyperbandOptions{MinBudget: 50, Seed: 1})
+			return err
+		}},
+		{"bohb", func(space *search.Space, ev Evaluator) error {
+			_, err := BOHB(space, ev, vanComps(), BOHBOptions{Hyperband: HyperbandOptions{MinBudget: 50, Seed: 1}})
+			return err
+		}},
+		{"asha", func(space *search.Space, ev Evaluator) error {
+			_, err := ASHA(space, ev, vanComps(), ASHAOptions{MinBudget: 100, MaxConfigs: 8, Workers: 3, Seed: 1})
+			return err
+		}},
+		{"pasha", func(space *search.Space, ev Evaluator) error {
+			_, err := PASHA(space, ev, vanComps(), PASHAOptions{MinBudget: 100, MaxConfigs: 8, Seed: 1})
+			return err
+		}},
+		{"dehb", func(space *search.Space, ev Evaluator) error {
+			_, err := DEHB(space, ev, vanComps(), DEHBOptions{Hyperband: HyperbandOptions{MinBudget: 50, Seed: 1}})
+			return err
+		}},
+		{"smac", func(space *search.Space, ev Evaluator) error {
+			_, err := SMAC(space, ev, vanComps(), SMACOptions{N: 8, Seed: 1})
+			return err
+		}},
+		{"tpe", func(space *search.Space, ev Evaluator) error {
+			_, err := TPE(space, ev, vanComps(), TPEOptions{N: 8, Seed: 1})
+			return err
+		}},
+		{"grid", func(space *search.Space, ev Evaluator) error {
+			_, err := GridSearch(space, ev, vanComps(), GridSearchOptions{Seed: 1})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		for _, failAfter := range []int{0, 3} {
+			space, ev := newFailing(failAfter)
+			err := tc.run(space, ev)
+			if err == nil {
+				t.Errorf("%s (failAfter=%d): error swallowed", tc.name, failAfter)
+				continue
+			}
+			if !errors.Is(err, errInjected) && !strings.Contains(err.Error(), "injected") {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+		}
+	}
+}
+
+// TestASHAErrorStopsWorkers ensures an injected failure terminates the
+// worker pool rather than hanging the run.
+func TestASHAErrorStopsWorkers(t *testing.T) {
+	space, ev := newFailing(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = ASHA(space, ev, vanComps(), ASHAOptions{MinBudget: 100, MaxConfigs: 16, Workers: 4, Seed: 9})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second): // normal completion is milliseconds
+		t.Fatal("ASHA hung after evaluation failure")
+	}
+}

@@ -1,0 +1,151 @@
+// Package hpo implements the bandit-based hyperparameter optimization
+// framework of the paper: Successive Halving, Hyperband, BOHB and ASHA,
+// plus a random-search baseline. Each method is parameterized by three
+// pluggable components — the fold builder, the configuration scorer and the
+// (optional) instance groups — so the paper's enhanced variants ("SHA+",
+// "HB+", "BOHB+") are the same algorithms run with the group-based folds
+// (cv.GroupFolds), the variance/size-aware scorer (scoring.UCBScorer) and
+// pre-built groups (grouping.Build), while the vanilla variants use
+// stratified folds and the plain mean.
+//
+// The budget unit is the instance, following the paper: a configuration
+// evaluated with budget b trains on cross-validation folds drawn from a
+// b-sized subset of the training data.
+package hpo
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"enhancedbhpo/internal/cv"
+	"enhancedbhpo/internal/grouping"
+	"enhancedbhpo/internal/scoring"
+	"enhancedbhpo/internal/search"
+)
+
+// Components bundles the pluggable pieces shared by every bandit method.
+type Components struct {
+	// Folds builds cross-validation folds from a budget-sized subset.
+	Folds cv.Builder
+	// K is the total number of folds per evaluation (the paper uses 5).
+	K int
+	// Scorer aggregates fold scores into the configuration's ranking score.
+	Scorer scoring.Scorer
+	// Groups are the §III-A instance groups; nil for vanilla components.
+	Groups *grouping.Groups
+}
+
+func (c Components) withDefaults() Components {
+	if c.Folds == nil {
+		c.Folds = cv.StratifiedKFold{}
+	}
+	if c.K <= 0 {
+		c.K = 5
+	}
+	if c.Scorer == nil {
+		c.Scorer = scoring.MeanScorer{}
+	}
+	return c
+}
+
+// Trial records one configuration evaluation.
+type Trial struct {
+	// Config is the evaluated configuration.
+	Config search.Config
+	// Budget is the instance budget b_t used.
+	Budget int
+	// Round is the halving iteration (or rung) the evaluation belongs to.
+	Round int
+	// FoldScores are the per-fold validation scores.
+	FoldScores []float64
+	// Score is the aggregated ranking score (scorer output).
+	Score float64
+	// Gamma is the sampling ratio in percent used for the score.
+	Gamma float64
+	// Elapsed is the wall time of this evaluation.
+	Elapsed time.Duration
+}
+
+// Result is the outcome of one optimization run.
+type Result struct {
+	// Method names the optimizer that produced the result.
+	Method string
+	// Best is the selected configuration τ*.
+	Best search.Config
+	// BestScore is τ*'s final aggregated score.
+	BestScore float64
+	// Trials is the full evaluation history.
+	Trials []Trial
+	// Evaluations is len(Trials).
+	Evaluations int
+	// Elapsed is the total optimization wall time (excluding any final
+	// full-data refit done by the caller).
+	Elapsed time.Duration
+}
+
+// BestTrial returns the highest-scoring trial of the run, preferring the
+// largest budget on ties, or nil when no trials were recorded.
+func (r *Result) BestTrial() *Trial {
+	var best *Trial
+	for i := range r.Trials {
+		t := &r.Trials[i]
+		if best == nil || t.Score > best.Score ||
+			(t.Score == best.Score && t.Budget > best.Budget) {
+			best = t
+		}
+	}
+	return best
+}
+
+// TrialsAt returns the trials of one round (or rung), in arrival order.
+func (r *Result) TrialsAt(round int) []Trial {
+	var out []Trial
+	for _, t := range r.Trials {
+		if t.Round == round {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ranked pairs a configuration with its score for halving.
+type ranked struct {
+	cfg   search.Config
+	score float64
+	order int // arrival order, for deterministic tie-breaks
+}
+
+// topConfigs returns the k highest-scoring configurations (ties broken by
+// arrival order).
+func topConfigs(rs []ranked, k int) []search.Config {
+	sorted := append([]ranked(nil), rs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].score != sorted[j].score {
+			return sorted[i].score > sorted[j].score
+		}
+		return sorted[i].order < sorted[j].order
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	out := make([]search.Config, k)
+	for i := 0; i < k; i++ {
+		out[i] = sorted[i].cfg
+	}
+	return out
+}
+
+// validateRun checks the shared preconditions of the optimizers.
+func validateRun(space *search.Space, comps Components) error {
+	if space == nil {
+		return fmt.Errorf("hpo: nil space")
+	}
+	if err := space.Validate(); err != nil {
+		return err
+	}
+	if comps.K < 2 {
+		return fmt.Errorf("hpo: need at least 2 folds, got %d", comps.K)
+	}
+	return nil
+}

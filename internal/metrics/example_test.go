@@ -1,0 +1,21 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"enhancedbhpo/internal/metrics"
+)
+
+// NDCG judges a configuration ranking: predScores are cross-validation
+// scores, trueRelevance the test accuracies actually achieved. A CV method
+// that ranks configurations like the test set does scores near 1.
+func ExampleNDCG() {
+	truth := []float64{0.71, 0.85, 0.78, 0.90}
+	goodCV := []float64{0.70, 0.84, 0.77, 0.91} // same ordering as truth
+	badCV := []float64{0.90, 0.71, 0.85, 0.70}  // scrambled
+	fmt.Printf("good CV nDCG %.3f\n", metrics.NDCG(goodCV, truth))
+	fmt.Printf("bad CV nDCG  %.3f\n", metrics.NDCG(badCV, truth))
+	// Output:
+	// good CV nDCG 1.000
+	// bad CV nDCG  0.945
+}

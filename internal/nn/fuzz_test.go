@@ -1,0 +1,46 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadModel exercises the binary model parser with arbitrary bytes: it
+// must never panic or over-allocate, and any model it accepts must be
+// usable for prediction.
+func FuzzLoadModel(f *testing.F) {
+	// Seed with a genuine model file and mutations of it.
+	train := easyClassification(40, 90)
+	cfg := DefaultConfig()
+	cfg.MaxIter = 3
+	cfg.HiddenLayerSizes = []int{3}
+	m, err := Fit(train, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:10])
+	f.Add([]byte{})
+	truncated := append([]byte(nil), valid...)
+	truncated = truncated[:len(truncated)/2]
+	f.Add(truncated)
+	corrupt := append([]byte(nil), valid...)
+	corrupt[8] ^= 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := LoadModel(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted models must predict without panicking.
+		if loaded.kind == train.Kind && loaded.nw.dims[0] == train.Features() {
+			_ = loaded.Predict(train)
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"enhancedbhpo/internal/dataset"
+)
+
+// Model serialization: a compact little-endian binary format so trained
+// models survive process restarts (the paper's workflow retrains the final
+// configuration on the full dataset — saving that model is the natural
+// next step for a library user).
+//
+// Layout: magic, version, kind, numClasses, activation, softmax flag,
+// layer count, dims, then the flat parameter vector as float64s.
+
+const (
+	modelMagic   = uint32(0xb4900d31)
+	modelVersion = uint32(1)
+)
+
+// Save writes the model to w in the binary model format.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	header := []uint32{
+		modelMagic,
+		modelVersion,
+		uint32(m.kind),
+		uint32(m.numClasses),
+		uint32(m.cfg.Activation),
+	}
+	for _, h := range header {
+		if err := write(h); err != nil {
+			return fmt.Errorf("nn: saving header: %w", err)
+		}
+	}
+	softmax := uint32(0)
+	if m.nw.softmaxOut {
+		softmax = 1
+	}
+	if err := write(softmax); err != nil {
+		return fmt.Errorf("nn: saving header: %w", err)
+	}
+	if err := write(uint32(len(m.nw.dims))); err != nil {
+		return fmt.Errorf("nn: saving dims: %w", err)
+	}
+	for _, d := range m.nw.dims {
+		if err := write(uint32(d)); err != nil {
+			return fmt.Errorf("nn: saving dims: %w", err)
+		}
+	}
+	if err := write(uint64(len(m.nw.params))); err != nil {
+		return fmt.Errorf("nn: saving params: %w", err)
+	}
+	for _, p := range m.nw.params {
+		if err := write(math.Float64bits(p)); err != nil {
+			return fmt.Errorf("nn: saving params: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadModel reads a model previously written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	magic, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if magic != modelMagic {
+		return nil, fmt.Errorf("nn: bad magic %#x", magic)
+	}
+	version, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("nn: reading version: %w", err)
+	}
+	if version != modelVersion {
+		return nil, fmt.Errorf("nn: unsupported model version %d", version)
+	}
+	kindV, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	numClasses, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	actV, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	softmaxV, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	numDims, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if numDims < 2 || numDims > 64 {
+		return nil, fmt.Errorf("nn: implausible layer count %d", numDims)
+	}
+	dims := make([]int, numDims)
+	for i := range dims {
+		d, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if d == 0 || d > 1<<20 {
+			return nil, fmt.Errorf("nn: implausible layer width %d", d)
+		}
+		dims[i] = int(d)
+	}
+	var numParams uint64
+	if err := binary.Read(br, binary.LittleEndian, &numParams); err != nil {
+		return nil, err
+	}
+	// Rebuild the network shell, then overwrite the parameters.
+	kind := dataset.Kind(kindV)
+	act := Activation(actV)
+	if act != Logistic && act != Tanh && act != ReLU {
+		return nil, fmt.Errorf("nn: unknown activation %d", actV)
+	}
+	nw := &network{
+		dims:       dims,
+		activation: act,
+		softmaxOut: softmaxV == 1,
+	}
+	total := 0
+	nw.wOff = make([]int, len(dims)-1)
+	nw.bOff = make([]int, len(dims)-1)
+	for l := 0; l < len(dims)-1; l++ {
+		nw.wOff[l] = total
+		total += dims[l] * dims[l+1]
+		nw.bOff[l] = total
+		total += dims[l+1]
+	}
+	if uint64(total) != numParams {
+		return nil, fmt.Errorf("nn: parameter count %d does not match dims (want %d)", numParams, total)
+	}
+	nw.params = make([]float64, total)
+	for i := range nw.params {
+		var bits uint64
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, fmt.Errorf("nn: reading params: %w", err)
+		}
+		nw.params[i] = math.Float64frombits(bits)
+	}
+	cfg := DefaultConfig()
+	cfg.Activation = act
+	cfg.HiddenLayerSizes = append([]int(nil), dims[1:len(dims)-1]...)
+	return &Model{
+		cfg:        cfg,
+		nw:         nw,
+		kind:       kind,
+		numClasses: int(numClasses),
+	}, nil
+}

@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTripClassifier(t *testing.T) {
+	train := easyClassification(120, 21)
+	cfg := DefaultConfig()
+	cfg.MaxIter = 20
+	cfg.LearningRateInit = 0.02
+	cfg.HiddenLayerSizes = []int{7, 5}
+	cfg.Activation = Tanh
+	cfg.Seed = 1
+	m, err := Fit(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical predictions on the training data.
+	origPred := m.Predict(train)
+	loadPred := loaded.Predict(train)
+	for i := range origPred {
+		if origPred[i] != loadPred[i] {
+			t.Fatalf("prediction %d differs after round trip", i)
+		}
+	}
+	origProba := m.PredictProba(train)
+	loadProba := loaded.PredictProba(train)
+	for i := range origProba {
+		for c := range origProba[i] {
+			if origProba[i][c] != loadProba[i][c] {
+				t.Fatalf("probability (%d,%d) differs", i, c)
+			}
+		}
+	}
+	if loaded.NumParams() != m.NumParams() {
+		t.Fatalf("param count %d vs %d", loaded.NumParams(), m.NumParams())
+	}
+}
+
+func TestSaveLoadRoundTripRegressor(t *testing.T) {
+	train := easyRegression(100, 22)
+	cfg := DefaultConfig()
+	cfg.MaxIter = 15
+	cfg.HiddenLayerSizes = []int{6}
+	cfg.Seed = 2
+	m, err := Fit(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := m.PredictReg(train)
+	got := loaded.PredictReg(train)
+	for i := range orig {
+		if orig[i] != got[i] {
+			t.Fatalf("regression prediction %d differs", i)
+		}
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+	}
+	for name, data := range cases {
+		if _, err := LoadModel(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadModelRejectsTruncated(t *testing.T) {
+	train := easyClassification(60, 23)
+	cfg := DefaultConfig()
+	cfg.MaxIter = 5
+	m, err := Fit(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{10, len(full) / 2, len(full) - 4} {
+		if _, err := LoadModel(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLoadModelRejectsWrongVersion(t *testing.T) {
+	train := easyClassification(60, 24)
+	cfg := DefaultConfig()
+	cfg.MaxIter = 5
+	m, err := Fit(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // bump version field (little-endian, second uint32)
+	if _, err := LoadModel(bytes.NewReader(data)); err == nil {
+		t.Error("wrong version accepted")
+	}
+}

@@ -1,0 +1,312 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/mat"
+	"enhancedbhpo/internal/metrics"
+	"enhancedbhpo/internal/rng"
+)
+
+// Model is a trained MLP.
+type Model struct {
+	cfg        Config
+	nw         *network
+	kind       dataset.Kind
+	numClasses int
+	// LossCurve records the training loss after each epoch/iteration.
+	LossCurve []float64
+	// Epochs is the number of epochs/iterations actually run.
+	Epochs int
+}
+
+// Fit trains an MLP on train. Classification datasets get a softmax
+// classifier over train.NumClasses classes; regression datasets get a
+// single-output regressor. Training is deterministic given cfg.Seed.
+func Fit(train *dataset.Dataset, cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := train.Validate(); err != nil {
+		return nil, err
+	}
+	if train.Len() < 2 {
+		return nil, fmt.Errorf("nn: need at least 2 training instances, got %d", train.Len())
+	}
+	r := rng.New(cfg.Seed ^ 0xabcdef1234)
+	var outputs int
+	softmax := train.Kind == dataset.Classification
+	if softmax {
+		outputs = train.NumClasses
+	} else {
+		outputs = 1
+	}
+	nw := newNetwork(train.Features(), cfg.HiddenLayerSizes, outputs, cfg.Activation, softmax, r.Split(1))
+	m := &Model{cfg: cfg, nw: nw, kind: train.Kind, numClasses: train.NumClasses}
+
+	fitSet := train
+	var valSet *dataset.Dataset
+	if cfg.EarlyStopping && train.Len() >= 10 {
+		f, v := splitValidation(train, cfg.ValidationFraction, r.Split(2))
+		fitSet, valSet = f, v
+	}
+	x := fitSet.X
+	target := targetMatrix(fitSet)
+
+	switch cfg.Solver {
+	case LBFGS:
+		m.fitLBFGS(x, target)
+	case SGD, Adam:
+		m.fitStochastic(x, target, valSet, r.Split(3))
+	default:
+		return nil, fmt.Errorf("nn: unknown solver %v", cfg.Solver)
+	}
+	return m, nil
+}
+
+// splitValidation carves a validation holdout off train (stratified for
+// classification).
+func splitValidation(train *dataset.Dataset, fraction float64, r *rng.RNG) (fit, val *dataset.Dataset) {
+	n := train.Len()
+	k := int(float64(n) * fraction)
+	if k < 1 {
+		k = 1
+	}
+	if k >= n {
+		k = n - 1
+	}
+	valIdx := train.StratifiedSample(r, k)
+	inVal := make([]bool, n)
+	for _, i := range valIdx {
+		inVal[i] = true
+	}
+	fitIdx := make([]int, 0, n-k)
+	for i := 0; i < n; i++ {
+		if !inVal[i] {
+			fitIdx = append(fitIdx, i)
+		}
+	}
+	return train.Select(fitIdx), train.Select(valIdx)
+}
+
+// targetMatrix builds the training target: one-hot rows for classification,
+// a single column of values for regression.
+func targetMatrix(d *dataset.Dataset) *mat.Dense {
+	n := d.Len()
+	if d.Kind == dataset.Classification {
+		t := mat.NewDense(n, d.NumClasses)
+		for i, c := range d.Class {
+			t.Set(i, c, 1)
+		}
+		return t
+	}
+	t := mat.NewDense(n, 1)
+	for i, v := range d.Target {
+		t.Set(i, 0, v)
+	}
+	return t
+}
+
+// fitStochastic runs the sgd/adam epoch loop with mini-batches, learning
+// rate schedules, early stopping and the no-improvement convergence check.
+func (m *Model) fitStochastic(x, target *mat.Dense, valSet *dataset.Dataset, r *rng.RNG) {
+	cfg := m.cfg
+	n := x.Rows()
+	batch := cfg.BatchSize
+	if batch > n {
+		batch = n
+	}
+	p := len(m.nw.params)
+	grad := make([]float64, p)
+	var velocity, adamM, adamV []float64
+	if cfg.Solver == SGD {
+		velocity = make([]float64, p)
+	} else {
+		adamM = make([]float64, p)
+		adamV = make([]float64, p)
+	}
+	lr := cfg.LearningRateInit
+	bestLoss := math.Inf(1)
+	bestVal := math.Inf(-1)
+	noImprove := 0
+	adaptiveStall := 0
+	var adamT int
+	bx := mat.NewDense(batch, x.Cols())
+	bt := mat.NewDense(batch, target.Cols())
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.MaxIter; epoch++ {
+		r.Shuffle(order)
+		var epochLoss float64
+		var batches int
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			size := end - start
+			cbx, cbt := bx, bt
+			if size != batch {
+				cbx = mat.NewDense(size, x.Cols())
+				cbt = mat.NewDense(size, target.Cols())
+			}
+			for bi := 0; bi < size; bi++ {
+				src := order[start+bi]
+				copy(cbx.Row(bi), x.Row(src))
+				copy(cbt.Row(bi), target.Row(src))
+			}
+			loss := m.nw.lossGrad(cbx, cbt, cfg.Alpha, grad)
+			epochLoss += loss
+			batches++
+			switch cfg.Solver {
+			case SGD:
+				effLR := lr
+				if cfg.LearningRate == InvScaling {
+					t := float64(epoch*((n+batch-1)/batch) + batches)
+					effLR = cfg.LearningRateInit / math.Pow(t, cfg.PowerT)
+				}
+				if cfg.Nesterov {
+					// Nesterov look-ahead in the standard reformulation
+					// (sklearn's): v ← μ·v − lr·∇; params += μ·v − lr·∇.
+					for i := range velocity {
+						velocity[i] = cfg.Momentum*velocity[i] - effLR*grad[i]
+						m.nw.params[i] += cfg.Momentum*velocity[i] - effLR*grad[i]
+					}
+				} else {
+					for i := range velocity {
+						velocity[i] = cfg.Momentum*velocity[i] - effLR*grad[i]
+						m.nw.params[i] += velocity[i]
+					}
+				}
+			case Adam:
+				adamT++
+				const beta1, beta2, eps = 0.9, 0.999, 1e-8
+				b1c := 1 - math.Pow(beta1, float64(adamT))
+				b2c := 1 - math.Pow(beta2, float64(adamT))
+				for i := range adamM {
+					adamM[i] = beta1*adamM[i] + (1-beta1)*grad[i]
+					adamV[i] = beta2*adamV[i] + (1-beta2)*grad[i]*grad[i]
+					m.nw.params[i] -= lr * (adamM[i] / b1c) / (math.Sqrt(adamV[i]/b2c) + eps)
+				}
+			}
+		}
+		epochLoss /= float64(batches)
+		m.LossCurve = append(m.LossCurve, epochLoss)
+		m.Epochs = epoch + 1
+
+		// Convergence / early stopping bookkeeping.
+		if valSet != nil {
+			score := m.Score(valSet)
+			if score > bestVal+cfg.Tol {
+				bestVal = score
+				noImprove = 0
+			} else {
+				noImprove++
+			}
+		} else {
+			if epochLoss < bestLoss-cfg.Tol {
+				bestLoss = epochLoss
+				noImprove = 0
+			} else {
+				noImprove++
+			}
+		}
+		// Adaptive schedule: halve-by-5 when the loss stalls twice in a row.
+		if cfg.Solver == SGD && cfg.LearningRate == Adaptive {
+			if len(m.LossCurve) >= 2 && epochLoss > m.LossCurve[len(m.LossCurve)-2]-cfg.Tol {
+				adaptiveStall++
+			} else {
+				adaptiveStall = 0
+			}
+			if adaptiveStall >= 2 {
+				lr /= 5
+				adaptiveStall = 0
+				if lr < 1e-6 {
+					break
+				}
+			}
+		}
+		if noImprove >= cfg.NIterNoChange {
+			break
+		}
+	}
+}
+
+// Predict returns the predicted class for each row of d (classification
+// models only).
+func (m *Model) Predict(d *dataset.Dataset) []int {
+	if m.kind != dataset.Classification {
+		panic("nn: Predict on regression model")
+	}
+	proba := m.PredictProba(d)
+	out := make([]int, len(proba))
+	for i, row := range proba {
+		best, bestP := 0, row[0]
+		for c, p := range row {
+			if p > bestP {
+				best, bestP = c, p
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// PredictProba returns the class-probability rows for d.
+func (m *Model) PredictProba(d *dataset.Dataset) [][]float64 {
+	if m.kind != dataset.Classification {
+		panic("nn: PredictProba on regression model")
+	}
+	acts := m.nw.forwardPass(d.X)
+	out := acts[len(acts)-1]
+	n := out.Rows()
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = append([]float64(nil), out.Row(i)...)
+	}
+	return rows
+}
+
+// PredictReg returns the predicted targets for d (regression models only).
+func (m *Model) PredictReg(d *dataset.Dataset) []float64 {
+	if m.kind != dataset.Regression {
+		panic("nn: PredictReg on classification model")
+	}
+	acts := m.nw.forwardPass(d.X)
+	out := acts[len(acts)-1]
+	n := out.Rows()
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = out.At(i, 0)
+	}
+	return vals
+}
+
+// Score returns the model's default metric on d: accuracy for
+// classification, R² for regression — matching the paper's Table IV
+// reporting (F1 is available through ScoreF1 for imbalanced datasets).
+func (m *Model) Score(d *dataset.Dataset) float64 {
+	if m.kind == dataset.Classification {
+		return metrics.Accuracy(m.Predict(d), d.Class)
+	}
+	return metrics.R2(m.PredictReg(d), d.Target)
+}
+
+// ScoreF1 returns binary F1 for 2-class models and macro F1 otherwise.
+func (m *Model) ScoreF1(d *dataset.Dataset) float64 {
+	if m.kind != dataset.Classification {
+		panic("nn: ScoreF1 on regression model")
+	}
+	pred := m.Predict(d)
+	if m.numClasses == 2 {
+		return metrics.F1Binary(pred, d.Class)
+	}
+	return metrics.F1Macro(pred, d.Class, m.numClasses)
+}
+
+// NumParams returns the size of the flat parameter vector.
+func (m *Model) NumParams() int { return len(m.nw.params) }

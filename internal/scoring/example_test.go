@@ -1,0 +1,41 @@
+package scoring_test
+
+import (
+	"fmt"
+
+	"enhancedbhpo/internal/scoring"
+)
+
+// Two configurations tie on mean fold accuracy, but on a small subset the
+// volatile one keeps more upside: the UCB-β score (Eq. 3) ranks it higher,
+// while at (near-)full budget the bonus disappears.
+func ExampleUCBScorer() {
+	stable := []float64{0.80, 0.80, 0.80, 0.80, 0.80}
+	volatile := []float64{0.70, 0.75, 0.80, 0.85, 0.90}
+	s := scoring.UCBScorer{Alpha: 0.1, BetaMax: 10}
+
+	smallSubset := 5.0 // γ = 5% of the full budget
+	fmt.Printf("at 5%%:  stable %.4f, volatile %.4f\n",
+		s.Score(stable, smallSubset), s.Score(volatile, smallSubset))
+
+	fullBudget := 99.9
+	fmt.Printf("at 100%%: stable %.4f, volatile %.4f\n",
+		s.Score(stable, fullBudget), s.Score(volatile, fullBudget))
+	// Output:
+	// at 5%:  stable 0.8000, volatile 0.8562
+	// at 100%: stable 0.8000, volatile 0.8000
+}
+
+// Beta reproduces the paper's Figure 3 curve: β_max at tiny subsets,
+// β_max/2 at half, 0 near the full dataset.
+func ExampleBeta() {
+	for _, gamma := range []float64{0, 25, 50, 75, 100} {
+		fmt.Printf("γ=%3.0f β=%.3f\n", gamma, scoring.Beta(gamma, 10))
+	}
+	// Output:
+	// γ=  0 β=10.000
+	// γ= 25 β=6.099
+	// γ= 50 β=5.000
+	// γ= 75 β=3.901
+	// γ=100 β=0.000
+}

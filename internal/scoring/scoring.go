@@ -1,0 +1,132 @@
+// Package scoring implements §III-C of the paper: the configuration
+// evaluation metric that augments the plain mean of fold scores with the
+// fold variance (UCB-style, Eq. 1) weighted by a subset-size term β(γ)
+// (Eq. 2), giving the final score s = μ + α·β(γ)·σ (Eq. 3).
+//
+// γ is the sampling ratio in percent: γ = |b_t| / |B| × 100, where b_t is
+// the per-configuration budget and B the full budget. β decays from β_max
+// at tiny subsets to 0 at near-full subsets via atanh, so variance counts
+// most exactly when evaluations are least reliable — and the design is
+// symmetric around γ = 50 to also suit plain cross-validation use.
+package scoring
+
+import (
+	"fmt"
+	"math"
+
+	"enhancedbhpo/internal/stats"
+)
+
+// Paper-recommended defaults (§IV-B).
+const (
+	// DefaultAlpha is the variance weight α.
+	DefaultAlpha = 0.1
+	// DefaultBetaMax is β_max; the paper recommends β_max = 1/α so the
+	// combined weight α·β is normalized to at most 1.
+	DefaultBetaMax = 10.0
+)
+
+// GammaBounds returns the clamping thresholds γ_min and γ_max of Eq. 2:
+// γ_min = 50(1 − tanh(β_max/4)) and γ_max = 50(1 − tanh(−β_max/4)).
+// They keep β within [0, β_max].
+func GammaBounds(betaMax float64) (gammaMin, gammaMax float64) {
+	gammaMin = 50 * (1 - math.Tanh(betaMax/4))
+	gammaMax = 50 * (1 - math.Tanh(-betaMax/4))
+	return gammaMin, gammaMax
+}
+
+// Beta evaluates Eq. 2: β(γ) = 2·atanh(1 − clamp(γ)/50) + β_max/2, with γ
+// the sampling ratio in percent (0–100). The result lies in [0, β_max]:
+// β(γ_min) = β_max, β(50) = β_max/2, β(γ_max) = 0.
+func Beta(gamma, betaMax float64) float64 {
+	gammaMin, gammaMax := GammaBounds(betaMax)
+	g := gamma
+	if g < gammaMin {
+		g = gammaMin
+	}
+	if g > gammaMax {
+		g = gammaMax
+	}
+	b := 2*math.Atanh(1-g/50) + betaMax/2
+	// Clamp floating-point residue at the boundaries into [0, β_max].
+	if b < 0 {
+		b = 0
+	}
+	if b > betaMax {
+		b = betaMax
+	}
+	return b
+}
+
+// Scorer turns per-fold results into a single configuration score. gamma is
+// the sampling ratio in percent of the full budget.
+type Scorer interface {
+	// Score aggregates fold scores into the configuration's ranking score.
+	Score(foldScores []float64, gamma float64) float64
+	// Name identifies the scorer in experiment output.
+	Name() string
+}
+
+// MeanScorer is the vanilla metric: the average of fold scores. This is
+// what plain SHA/Hyperband/BOHB use.
+type MeanScorer struct{}
+
+// Score returns the mean of foldScores.
+func (MeanScorer) Score(foldScores []float64, _ float64) float64 {
+	return stats.Mean(foldScores)
+}
+
+// Name implements Scorer.
+func (MeanScorer) Name() string { return "mean" }
+
+// UCBScorer is the paper's enhanced metric (Eq. 3):
+// s = μ + α·β(γ)·σ with σ the standard deviation across folds.
+type UCBScorer struct {
+	// Alpha is the variance weight α. 0 selects DefaultAlpha.
+	Alpha float64
+	// BetaMax is β_max. 0 selects DefaultBetaMax.
+	BetaMax float64
+}
+
+// Score evaluates Eq. 3 on the fold results.
+func (s UCBScorer) Score(foldScores []float64, gamma float64) float64 {
+	alpha := s.Alpha
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	betaMax := s.BetaMax
+	if betaMax == 0 {
+		betaMax = DefaultBetaMax
+	}
+	mu := stats.Mean(foldScores)
+	sigma := stats.StdDev(foldScores)
+	return mu + alpha*Beta(gamma, betaMax)*sigma
+}
+
+// Name implements Scorer.
+func (s UCBScorer) Name() string { return "ucb-beta" }
+
+// Gamma converts a subset size and full budget into the percentage ratio
+// used by Beta. It panics if total is not positive.
+func Gamma(subset, total int) float64 {
+	if total <= 0 {
+		panic(fmt.Sprintf("scoring: total budget %d <= 0", total))
+	}
+	return float64(subset) / float64(total) * 100
+}
+
+// BetaSeries samples β over γ ∈ [0, 100] with the given number of points —
+// the series plotted in the paper's Figure 3.
+func BetaSeries(betaMax float64, points int) (gammas, betas []float64) {
+	if points < 2 {
+		points = 2
+	}
+	gammas = make([]float64, points)
+	betas = make([]float64, points)
+	for i := 0; i < points; i++ {
+		g := float64(i) * 100 / float64(points-1)
+		gammas[i] = g
+		betas[i] = Beta(g, betaMax)
+	}
+	return gammas, betas
+}

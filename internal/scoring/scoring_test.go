@@ -1,0 +1,171 @@
+package scoring
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBetaEndpoints(t *testing.T) {
+	betaMax := 10.0
+	gammaMin, gammaMax := GammaBounds(betaMax)
+	if got := Beta(gammaMin, betaMax); !almostEq(got, betaMax, 1e-9) {
+		t.Fatalf("Beta(gammaMin) = %v, want %v", got, betaMax)
+	}
+	if got := Beta(gammaMax, betaMax); !almostEq(got, 0, 1e-9) {
+		t.Fatalf("Beta(gammaMax) = %v, want 0", got)
+	}
+	if got := Beta(50, betaMax); !almostEq(got, betaMax/2, 1e-9) {
+		t.Fatalf("Beta(50) = %v, want %v", got, betaMax/2)
+	}
+}
+
+func TestBetaClampsOutsideBounds(t *testing.T) {
+	betaMax := 10.0
+	if got := Beta(0, betaMax); !almostEq(got, betaMax, 1e-9) {
+		t.Fatalf("Beta(0) = %v", got)
+	}
+	if got := Beta(100, betaMax); !almostEq(got, 0, 1e-9) {
+		t.Fatalf("Beta(100) = %v", got)
+	}
+	if got := Beta(-5, betaMax); !almostEq(got, betaMax, 1e-9) {
+		t.Fatalf("Beta(-5) = %v", got)
+	}
+}
+
+func TestBetaMonotoneDecreasing(t *testing.T) {
+	// Figure 3: β decreases as the sampling ratio grows.
+	prev := math.Inf(1)
+	for g := 0.0; g <= 100; g += 0.5 {
+		b := Beta(g, 10)
+		if b > prev+1e-12 {
+			t.Fatalf("β increased at γ=%v: %v > %v", g, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestBetaSymmetricAroundFifty(t *testing.T) {
+	// The design is symmetric: β(50−d) − β_max/2 = β_max/2 − β(50+d).
+	betaMax := 10.0
+	for _, d := range []float64{1, 5, 10, 20, 30, 40} {
+		lo := Beta(50-d, betaMax)
+		hi := Beta(50+d, betaMax)
+		if !almostEq(lo-betaMax/2, betaMax/2-hi, 1e-9) {
+			t.Fatalf("asymmetry at d=%v: %v vs %v", d, lo, hi)
+		}
+	}
+}
+
+func TestBetaWithinRangeProperty(t *testing.T) {
+	f := func(gRaw, bRaw uint16) bool {
+		gamma := float64(gRaw%10001) / 100 // [0, 100]
+		betaMax := 1 + float64(bRaw%2000)/100
+		b := Beta(gamma, betaMax)
+		return b >= -1e-9 && b <= betaMax+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanScorer(t *testing.T) {
+	s := MeanScorer{}
+	if got := s.Score([]float64{0.8, 0.9, 1.0}, 10); !almostEq(got, 0.9, 1e-12) {
+		t.Fatalf("mean = %v", got)
+	}
+	if s.Name() != "mean" {
+		t.Errorf("name = %q", s.Name())
+	}
+	// Gamma irrelevant for the mean.
+	if s.Score([]float64{0.5}, 1) != s.Score([]float64{0.5}, 99) {
+		t.Error("mean scorer depends on gamma")
+	}
+}
+
+func TestUCBScorerAddsVarianceBonus(t *testing.T) {
+	s := UCBScorer{Alpha: 0.1, BetaMax: 10}
+	stable := []float64{0.8, 0.8, 0.8}
+	volatile := []float64{0.7, 0.8, 0.9}
+	gamma := 5.0 // small subset: variance counts a lot
+	if s.Score(stable, gamma) >= s.Score(volatile, gamma) {
+		t.Fatal("volatile config with equal mean should score higher on small subsets")
+	}
+	// Past γ_max (≈99.33 for β_max=10) β clamps to exactly 0: the bonus
+	// vanishes and the score reduces to the mean.
+	g := 99.9
+	if !almostEq(s.Score(volatile, g), 0.8, 1e-9) {
+		t.Fatalf("full-budget score %v should reduce to mean", s.Score(volatile, g))
+	}
+}
+
+func TestUCBScorerDefaults(t *testing.T) {
+	zero := UCBScorer{}
+	explicit := UCBScorer{Alpha: DefaultAlpha, BetaMax: DefaultBetaMax}
+	scores := []float64{0.6, 0.7, 0.9}
+	if zero.Score(scores, 10) != explicit.Score(scores, 10) {
+		t.Fatal("zero-value scorer should use paper defaults")
+	}
+	if zero.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestUCBBonusShrinksWithGamma(t *testing.T) {
+	s := UCBScorer{Alpha: 0.1, BetaMax: 10}
+	volatile := []float64{0.7, 0.8, 0.9}
+	prev := math.Inf(1)
+	for _, gamma := range []float64{1, 5, 10, 25, 50, 75, 95} {
+		score := s.Score(volatile, gamma)
+		if score > prev+1e-12 {
+			t.Fatalf("score grew with gamma at %v", gamma)
+		}
+		prev = score
+	}
+}
+
+func TestGamma(t *testing.T) {
+	if got := Gamma(25, 100); got != 25 {
+		t.Fatalf("Gamma = %v", got)
+	}
+	if got := Gamma(100, 100); got != 100 {
+		t.Fatalf("Gamma = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Gamma(total<=0) should panic")
+		}
+	}()
+	Gamma(1, 0)
+}
+
+func TestBetaSeries(t *testing.T) {
+	gammas, betas := BetaSeries(10, 101)
+	if len(gammas) != 101 || len(betas) != 101 {
+		t.Fatalf("series lengths %d/%d", len(gammas), len(betas))
+	}
+	if gammas[0] != 0 || gammas[100] != 100 {
+		t.Fatalf("gamma endpoints %v..%v", gammas[0], gammas[100])
+	}
+	if !almostEq(betas[0], 10, 1e-9) || !almostEq(betas[100], 0, 1e-9) {
+		t.Fatalf("beta endpoints %v..%v", betas[0], betas[100])
+	}
+	// Degenerate point count is padded.
+	g, b := BetaSeries(10, 1)
+	if len(g) != 2 || len(b) != 2 {
+		t.Fatal("series did not pad point count")
+	}
+}
+
+func TestGammaBoundsOrdering(t *testing.T) {
+	f := func(raw uint16) bool {
+		betaMax := 0.5 + float64(raw%2000)/100
+		lo, hi := GammaBounds(betaMax)
+		return lo > 0 && hi < 100 && lo < hi && almostEq(lo+hi, 100, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

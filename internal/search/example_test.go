@@ -1,0 +1,46 @@
+package search_test
+
+import (
+	"fmt"
+
+	"enhancedbhpo/internal/nn"
+	"enhancedbhpo/internal/search"
+)
+
+// The paper's §IV-B HPO experiments search the first four Table III
+// hyperparameters: 6·3·3·3 = 162 configurations.
+func ExampleTableIIISpace() {
+	space, err := search.TableIIISpace(4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("configurations:", space.Size())
+	cfg := space.NewConfig([]int{4, 2, 1, 0})
+	fmt.Println("one of them:", cfg)
+	// Output:
+	// configurations: 162
+	// one of them: hidden_layer_sizes=[50] activation=relu solver=sgd learning_rate_init=0.1
+}
+
+// ToNNConfig materializes an abstract configuration onto a base nn.Config:
+// searched dimensions override the base, everything else is kept.
+func ExampleToNNConfig() {
+	space, err := search.TableIIISpace(2)
+	if err != nil {
+		panic(err)
+	}
+	base := nn.DefaultConfig()
+	base.MaxIter = 40 // not searched: preserved
+
+	cfg, err := search.ToNNConfig(space.NewConfig([]int{1, 1}), base)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("hidden:", cfg.HiddenLayerSizes)
+	fmt.Println("activation:", cfg.Activation)
+	fmt.Println("max iter:", cfg.MaxIter)
+	// Output:
+	// hidden: [30 30]
+	// activation: tanh
+	// max iter: 40
+}

@@ -1,0 +1,47 @@
+package search
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSpaceJSON exercises the space parser: no panics, and any
+// accepted space must validate, enumerate and round-trip.
+func FuzzReadSpaceJSON(f *testing.F) {
+	f.Add(`{"dimensions":[{"name":"activation","values":["relu"]}]}`)
+	f.Add(`{"dimensions":[{"name":"hidden_layer_sizes","values":[[30],[40,40]]}]}`)
+	f.Add(`{"dimensions":[{"name":"batch_size","values":[32,64]}]}`)
+	f.Add(`{"dimensions":[]}`)
+	f.Add(`{`)
+	f.Add(`{"dimensions":[{"name":"a","values":[1e999]}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := ReadSpaceJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if vErr := s.Validate(); vErr != nil {
+			t.Fatalf("accepted space fails validation: %v", vErr)
+		}
+		if s.Size() <= 0 {
+			t.Fatalf("accepted space has size %d", s.Size())
+		}
+		// Enumerate a bounded prefix (huge spaces would be slow).
+		if s.Size() <= 4096 {
+			if got := len(s.Enumerate()); got != s.Size() {
+				t.Fatalf("enumerated %d of %d", got, s.Size())
+			}
+		}
+		var buf bytes.Buffer
+		if wErr := WriteSpaceJSON(&buf, s); wErr != nil {
+			t.Fatalf("accepted space fails to serialize: %v", wErr)
+		}
+		back, rErr := ReadSpaceJSON(&buf)
+		if rErr != nil {
+			t.Fatalf("round trip failed: %v", rErr)
+		}
+		if back.Size() != s.Size() {
+			t.Fatalf("round trip size %d != %d", back.Size(), s.Size())
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"enhancedbhpo/internal/stats"
+)
+
+// Proposition 1: with perfectly separated groups (ε = p) the two-group
+// sample always reproduces the dataset's class balance, while random
+// sampling only sometimes does.
+func ExampleRepresentativeMass() {
+	n, p := 40, 0.5
+	random := stats.RepresentativeMass(n, p, 0, 0)  // ε = 0 → Binomial(n, p)
+	grouped := stats.RepresentativeMass(n, p, p, 0) // ε = p → perfect groups
+	fmt.Printf("P[exactly balanced]: random %.3f, grouped %.3f\n", random, grouped)
+	// Output:
+	// P[exactly balanced]: random 0.125, grouped 1.000
+}
+
+// Welford accumulates mean and variance in one pass without storing
+// samples — used by the experiment harness for long runs.
+func ExampleWelford() {
+	var w stats.Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	fmt.Printf("n=%d mean=%.1f std=%.1f\n", w.N(), w.Mean(), w.StdDev())
+	// Output:
+	// n=8 mean=5.0 std=2.0
+}

@@ -1,0 +1,31 @@
+package trace_test
+
+import (
+	"fmt"
+	"time"
+
+	"enhancedbhpo/internal/hpo"
+	"enhancedbhpo/internal/trace"
+)
+
+// Anytime turns a trial history into the incumbent (best-so-far) curve;
+// AreaUnderCurve condenses it into one "how good, how early" scalar.
+func ExampleAnytime() {
+	trials := []hpo.Trial{
+		{Budget: 100, Round: 0, Score: 0.60, Elapsed: time.Millisecond},
+		{Budget: 100, Round: 0, Score: 0.72, Elapsed: time.Millisecond},
+		{Budget: 200, Round: 1, Score: 0.70, Elapsed: time.Millisecond},
+		{Budget: 400, Round: 2, Score: 0.81, Elapsed: time.Millisecond},
+	}
+	points := trace.Anytime(trials)
+	for _, p := range points {
+		fmt.Printf("eval %d: budget %d, best %.2f\n", p.Evaluations, p.CumBudget, p.BestScore)
+	}
+	fmt.Printf("AUC %.3f\n", trace.AreaUnderCurve(points))
+	// Output:
+	// eval 1: budget 100, best 0.60
+	// eval 2: budget 200, best 0.72
+	// eval 3: budget 400, best 0.72
+	// eval 4: budget 800, best 0.81
+	// AUC 0.750
+}

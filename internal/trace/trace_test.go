@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"enhancedbhpo/internal/hpo"
+)
+
+func sampleTrials() []hpo.Trial {
+	return []hpo.Trial{
+		{Budget: 100, Round: 0, Score: 0.5, Elapsed: time.Millisecond},
+		{Budget: 100, Round: 0, Score: 0.7, Elapsed: time.Millisecond},
+		{Budget: 100, Round: 0, Score: 0.6, Elapsed: time.Millisecond},
+		{Budget: 200, Round: 1, Score: 0.75, Elapsed: 2 * time.Millisecond},
+		{Budget: 200, Round: 1, Score: 0.65, Elapsed: 2 * time.Millisecond},
+		{Budget: 400, Round: 2, Score: 0.8, Elapsed: 4 * time.Millisecond},
+	}
+}
+
+func TestAnytimeMonotone(t *testing.T) {
+	points := Anytime(sampleTrials())
+	if len(points) != 6 {
+		t.Fatalf("%d points", len(points))
+	}
+	prev := -1.0
+	for i, p := range points {
+		if p.BestScore < prev {
+			t.Fatalf("incumbent decreased at %d", i)
+		}
+		prev = p.BestScore
+		if p.Evaluations != i+1 {
+			t.Fatalf("evaluations at %d = %d", i, p.Evaluations)
+		}
+	}
+	last := points[len(points)-1]
+	if last.BestScore != 0.8 {
+		t.Fatalf("final incumbent %v", last.BestScore)
+	}
+	if last.CumBudget != 1100 {
+		t.Fatalf("cumulative budget %d", last.CumBudget)
+	}
+	if last.CumTime != 11*time.Millisecond {
+		t.Fatalf("cumulative time %v", last.CumTime)
+	}
+}
+
+func TestAnytimeEmpty(t *testing.T) {
+	if got := Anytime(nil); len(got) != 0 {
+		t.Fatalf("empty trials gave %d points", len(got))
+	}
+	if AreaUnderCurve(nil) != 0 {
+		t.Fatal("empty AUC != 0")
+	}
+}
+
+func TestTotalBudget(t *testing.T) {
+	if got := TotalBudget(sampleTrials()); got != 1100 {
+		t.Fatalf("total budget %d", got)
+	}
+}
+
+func TestByRound(t *testing.T) {
+	rounds := ByRound(sampleTrials())
+	if len(rounds) != 3 {
+		t.Fatalf("%d rounds", len(rounds))
+	}
+	if rounds[0].Evaluations != 3 || rounds[1].Evaluations != 2 || rounds[2].Evaluations != 1 {
+		t.Fatalf("evaluation counts wrong: %+v", rounds)
+	}
+	if rounds[0].BestScore != 0.7 {
+		t.Fatalf("round 0 best %v", rounds[0].BestScore)
+	}
+	if rounds[1].Budget != 200 {
+		t.Fatalf("round 1 budget %d", rounds[1].Budget)
+	}
+	wantMean := (0.5 + 0.7 + 0.6) / 3
+	if diff := rounds[0].MeanScore - wantMean; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("round 0 mean %v", rounds[0].MeanScore)
+	}
+}
+
+func TestAreaUnderCurve(t *testing.T) {
+	points := []Point{
+		{CumBudget: 100, BestScore: 0.5},
+		{CumBudget: 200, BestScore: 1.0},
+	}
+	// 0.5*100 + 1.0*100 over 200 = 0.75.
+	if got := AreaUnderCurve(points); got != 0.75 {
+		t.Fatalf("AUC = %v", got)
+	}
+	// A curve that reaches the optimum earlier has higher AUC.
+	early := []Point{{CumBudget: 100, BestScore: 1.0}, {CumBudget: 200, BestScore: 1.0}}
+	if AreaUnderCurve(early) <= AreaUnderCurve(points) {
+		t.Fatal("early success did not raise AUC")
+	}
+}
+
+func TestFprint(t *testing.T) {
+	res := &hpo.Result{Method: "sha", Trials: sampleTrials(), Evaluations: 6}
+	var buf bytes.Buffer
+	Fprint(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"method sha", "round", "incumbent 0.8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	points := Anytime(sampleTrials())
+	s := Sparkline(points, 10)
+	if len(s) == 0 {
+		t.Fatal("empty sparkline")
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("nil points should give empty sparkline")
+	}
+	flat := []Point{{CumBudget: 1, BestScore: 0.5}, {CumBudget: 2, BestScore: 0.5}}
+	if s := Sparkline(flat, 5); !strings.Contains(s, "#") {
+		t.Fatalf("flat curve sparkline %q", s)
+	}
+}
