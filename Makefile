@@ -1,0 +1,32 @@
+# Developer entry points. `make check` is the gate CI (and reviewers)
+# run: static analysis plus the full suite under the race detector.
+
+GO ?= go
+
+.PHONY: all build test race vet check fmt serve clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+fmt:
+	gofmt -l -w .
+
+# Run the HPO job service locally (see README "Running the service").
+serve:
+	$(GO) run ./cmd/bhpod -addr :8149
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,90 @@
+// Command bhpod is the HPO job service: a long-running HTTP daemon that
+// accepts hyperparameter-optimization job submissions, runs them on a
+// shared bounded worker pool with a per-dataset evaluation cache, and
+// reports live anytime curves while jobs are in flight.
+//
+// Usage:
+//
+//	bhpod [-addr :8149] [-workers N] [-max-jobs 4] [-cache-entries 65536]
+//
+// Endpoints:
+//
+//	POST   /jobs        submit a job (JSON spec: dataset, method, ...)
+//	GET    /jobs        list jobs
+//	GET    /jobs/{id}   job status + incumbent curve
+//	DELETE /jobs/{id}   cancel a job
+//	GET    /healthz     liveness probe
+//	GET    /metrics     service counters
+//
+// See the README's "Running the service" section for a curl walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"enhancedbhpo/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8149", "listen address")
+		workers = flag.Int("workers", runtime.NumCPU(), "shared evaluation pool size across all jobs")
+		maxJobs = flag.Int("max-jobs", 4, "max concurrently running jobs (excess stay queued)")
+		cacheN  = flag.Int("cache-entries", 1<<16, "evaluation cache entries per dataset scope")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *maxJobs, *cacheN); err != nil {
+		fmt.Fprintln(os.Stderr, "bhpod:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, maxJobs, cacheEntries int) error {
+	manager := serve.NewManager(serve.Config{
+		PoolSize:     workers,
+		MaxJobs:      maxJobs,
+		CacheEntries: cacheEntries,
+	})
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: serve.NewServer(manager),
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("bhpod listening on %s (pool=%d, max-jobs=%d)", addr, workers, maxJobs)
+		errc <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("bhpod: %v, shutting down", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := manager.Shutdown(ctx); err != nil {
+		return fmt.Errorf("waiting for jobs: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

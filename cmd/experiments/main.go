@@ -155,6 +155,21 @@ func runOne(exp string, s experiments.Settings, outDir string) error {
 			return err
 		}
 		res.Print(w)
+		if outDir != "" {
+			// The curves use the same serialization as bhpod's /jobs
+			// endpoint, so one set of tooling plots either source.
+			f, err := os.Create(filepath.Join(outDir, "anytime.json"))
+			if err != nil {
+				return err
+			}
+			err = res.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+		}
 	case "ablations":
 		res, err := experiments.RunAblations(s)
 		if err != nil {

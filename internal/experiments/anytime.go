@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -18,17 +19,18 @@ import (
 
 // AnytimeCell summarizes one variant's trajectory.
 type AnytimeCell struct {
-	Variant    string
-	AUC        float64
-	AUCStd     float64
-	FinalScore float64
-	Sparkline  string
+	Variant    string        `json:"variant"`
+	AUC        float64       `json:"auc"`
+	AUCStd     float64       `json:"auc_std"`
+	FinalScore float64       `json:"final_score"`
+	Sparkline  string        `json:"sparkline"`
+	Curve      []trace.Point `json:"curve"`
 }
 
 // AnytimeResult holds the comparison for one dataset.
 type AnytimeResult struct {
-	Dataset string
-	Cells   []AnytimeCell
+	Dataset string        `json:"dataset"`
+	Cells   []AnytimeCell `json:"cells"`
 }
 
 // RunAnytime compares the SHA and SHA+ incumbent curves on the first
@@ -47,6 +49,7 @@ func RunAnytime(s Settings) (*AnytimeResult, error) {
 	for _, variant := range []core.Variant{core.Vanilla, core.Enhanced} {
 		var aucs, finals []float64
 		var spark string
+		var curve []trace.Point
 		for seed := 0; seed < s.Seeds; seed++ {
 			train, test, err := s.loadDataset(name, uint64(seed)+1)
 			if err != nil {
@@ -68,14 +71,24 @@ func RunAnytime(s Settings) (*AnytimeResult, error) {
 			finals = append(finals, out.TestScore)
 			if seed == 0 {
 				spark = trace.Sparkline(points, 40)
+				curve = points
 			}
 		}
-		cell := AnytimeCell{Variant: variant.String(), Sparkline: spark}
+		cell := AnytimeCell{Variant: variant.String(), Sparkline: spark, Curve: curve}
 		cell.AUC, cell.AUCStd = stats.MeanStd(aucs)
 		cell.FinalScore = stats.Mean(finals)
 		res.Cells = append(res.Cells, cell)
 	}
 	return res, nil
+}
+
+// WriteJSON emits the comparison, including the seed-0 incumbent curves,
+// using the trace package's point serialization — the same wire format the
+// bhpod /jobs status endpoint serves.
+func (r *AnytimeResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 // Print renders the anytime comparison.

@@ -1,9 +1,8 @@
 package hpo
 
 import (
+	"context"
 	"fmt"
-	"math"
-	"sort"
 	"sync"
 	"time"
 
@@ -20,8 +19,9 @@ type ASHAOptions struct {
 	// MaxConfigs is the number of configurations sampled. 0 selects
 	// min(27, space size).
 	MaxConfigs int
-	// Workers is the number of concurrent evaluation goroutines. 0
-	// selects 4.
+	// Workers is the number of concurrent evaluation goroutines. The set
+	// of evaluations and the selected configuration are identical for any
+	// worker count (see the determinism note on ASHA). 0 selects 4.
 	Workers int
 	// Seed drives sampling and training.
 	Seed uint64
@@ -46,23 +46,37 @@ func (o ASHAOptions) withDefaults(k, spaceSize int) ASHAOptions {
 	return o
 }
 
-// ashaJob is one unit of work: evaluate cfg at the given rung.
+// ashaJob is one unit of work: evaluate the member at rung job.rung.
 type ashaJob struct {
 	cfg    search.Config
 	cfgIdx int
 	rung   int
+	member int  // index into st.rungs[rung]
 	done   bool // no more work will ever arrive
 }
+
+// ashaMember is one configuration's slot in a rung.
+type ashaMember struct {
+	cfg      search.Config
+	cfgIdx   int // global sample index: RNG stream tag and tie-break
+	state    int // 0 pending, 1 running, 2 done
+	score    float64
+	promoted bool
+}
+
+const (
+	memberPending = iota
+	memberRunning
+	memberDone
+)
 
 // ashaState is the shared promotion ledger guarded by mu.
 type ashaState struct {
 	mu          sync.Mutex
 	cond        *sync.Cond
-	rungs       [][]ranked        // completed evaluations per rung
-	promoted    []map[string]bool // per rung: configs already promoted out
+	rungs       [][]ashaMember // members per rung, in promotion order
+	settled     []int          // per rung: completed-prefix length already processed
 	outstanding int
-	nextCfg     int
-	configs     []search.Config
 	trials      []Trial
 	err         error
 	eta         int
@@ -74,7 +88,21 @@ type ashaState struct {
 // configuration enters the top 1/Eta of its rung, without waiting for the
 // rung to fill. With enhanced components this is "ASHA+", extending the
 // paper's technique to the asynchronous setting it cites.
+//
+// Determinism: promotion decisions are replayed in the canonical arrival
+// order of each rung (a configuration's rung-r result is considered only
+// once every earlier member of rung r has finished), and per-trial RNG
+// streams are derived from (configuration index, rung). The set of
+// evaluations and the returned best configuration are therefore identical
+// for any worker count; only the completion order of Result.Trials varies.
 func ASHA(space *search.Space, ev Evaluator, comps Components, opts ASHAOptions) (*Result, error) {
+	return ASHACtx(context.Background(), space, ev, comps, opts)
+}
+
+// ASHACtx is ASHA with cancellation: a cancelled or expired ctx stops every
+// worker before its next evaluation and returns ctx's error. Evaluations in
+// flight finish, so the run stops within one evaluation of the cancel.
+func ASHACtx(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts ASHAOptions) (*Result, error) {
 	comps = comps.withDefaults()
 	if err := validateRun(space, comps); err != nil {
 		return nil, err
@@ -86,19 +114,19 @@ func ASHA(space *search.Space, ev Evaluator, comps Components, opts ASHAOptions)
 	for b := opts.MinBudget; b < full; b *= opts.Eta {
 		maxRung++
 	}
+	configs := space.SampleN(root.Split(1), opts.MaxConfigs)
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("hpo: ASHA sampled no configurations")
+	}
 	st := &ashaState{
-		rungs:    make([][]ranked, maxRung+1),
-		promoted: make([]map[string]bool, maxRung+1),
-		configs:  space.SampleN(root.Split(1), opts.MaxConfigs),
-		eta:      opts.Eta,
-		maxRung:  maxRung,
+		rungs:   make([][]ashaMember, maxRung+1),
+		settled: make([]int, maxRung+1),
+		eta:     opts.Eta,
+		maxRung: maxRung,
 	}
 	st.cond = sync.NewCond(&st.mu)
-	for r := range st.promoted {
-		st.promoted[r] = map[string]bool{}
-	}
-	if len(st.configs) == 0 {
-		return nil, fmt.Errorf("hpo: ASHA sampled no configurations")
+	for i, cfg := range configs {
+		st.rungs[0] = append(st.rungs[0], ashaMember{cfg: cfg, cfgIdx: i})
 	}
 
 	start := time.Now()
@@ -113,10 +141,26 @@ func ASHA(space *search.Space, ev Evaluator, comps Components, opts ASHAOptions)
 		return b
 	}
 
+	// Wake blocked workers when ctx is cancelled mid-run.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			st.mu.Lock()
+			if st.err == nil {
+				st.err = ctx.Err()
+			}
+			st.cond.Broadcast()
+			st.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
-		go func(worker int) {
+		go func() {
 			defer wg.Done()
 			for {
 				job := st.nextJob()
@@ -124,10 +168,14 @@ func ASHA(space *search.Space, ev Evaluator, comps Components, opts ASHAOptions)
 					return
 				}
 				r := root.Split(uint64(job.cfgIdx)*131 + uint64(job.rung) + 7)
-				tr, err := evalTrial(ev, comps, job.cfg, budgetOf(job.rung), job.rung, r)
+				var tr Trial
+				err := ctx.Err()
+				if err == nil {
+					tr, err = evalTrial(ev, comps, job.cfg, budgetOf(job.rung), job.rung, r)
+				}
 				st.complete(job, tr, err)
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
 	if st.err != nil {
@@ -148,21 +196,18 @@ func (st *ashaState) nextJob() ashaJob {
 		if st.err != nil {
 			return ashaJob{done: true}
 		}
-		// Prefer the highest-rung promotion available (get strong
+		// Prefer the highest rung with a pending member (get strong
 		// configurations to full budget fast).
-		for r := st.maxRung - 1; r >= 0; r-- {
-			if cfg, idx, ok := st.promotable(r); ok {
-				st.promoted[r][cfg.ID()] = true
+		for r := st.maxRung; r >= 0; r-- {
+			for m := range st.rungs[r] {
+				mem := &st.rungs[r][m]
+				if mem.state != memberPending {
+					continue
+				}
+				mem.state = memberRunning
 				st.outstanding++
-				return ashaJob{cfg: cfg, cfgIdx: idx, rung: r + 1}
+				return ashaJob{cfg: mem.cfg, cfgIdx: mem.cfgIdx, rung: r, member: m}
 			}
-		}
-		if st.nextCfg < len(st.configs) {
-			cfg := st.configs[st.nextCfg]
-			idx := st.nextCfg
-			st.nextCfg++
-			st.outstanding++
-			return ashaJob{cfg: cfg, cfgIdx: idx, rung: 0}
 		}
 		if st.outstanding == 0 {
 			st.cond.Broadcast()
@@ -172,30 +217,8 @@ func (st *ashaState) nextJob() ashaJob {
 	}
 }
 
-// promotable returns a configuration in the top 1/eta of rung r that has
-// not yet been promoted. Caller holds st.mu.
-func (st *ashaState) promotable(r int) (search.Config, int, bool) {
-	completed := st.rungs[r]
-	k := len(completed) / st.eta
-	if k < 1 {
-		return search.Config{}, 0, false
-	}
-	sorted := append([]ranked(nil), completed...)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		if sorted[i].score != sorted[j].score {
-			return sorted[i].score > sorted[j].score
-		}
-		return sorted[i].order < sorted[j].order
-	})
-	for i := 0; i < k; i++ {
-		if !st.promoted[r][sorted[i].cfg.ID()] {
-			return sorted[i].cfg, sorted[i].order, true
-		}
-	}
-	return search.Config{}, 0, false
-}
-
-// complete records a finished evaluation and wakes waiting workers.
+// complete records a finished evaluation, settles any promotions it
+// unlocks, and wakes waiting workers.
 func (st *ashaState) complete(job ashaJob, tr Trial, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -206,28 +229,92 @@ func (st *ashaState) complete(job ashaJob, tr Trial, err error) {
 		}
 	} else {
 		st.trials = append(st.trials, tr)
-		st.rungs[job.rung] = append(st.rungs[job.rung], ranked{cfg: job.cfg, score: tr.Score, order: job.cfgIdx})
+		mem := &st.rungs[job.rung][job.member]
+		mem.state = memberDone
+		mem.score = tr.Score
+		st.settle(job.rung)
 	}
 	st.cond.Broadcast()
 }
 
-// best returns the top configuration of the highest non-empty rung.
+// settle replays rung r's promotion decisions over its newly completed
+// prefix. Decisions are taken at every prefix length j in order — exactly
+// as if members had finished one by one in rung order — so the promoted
+// set and the order of arrivals into rung r+1 do not depend on the actual
+// completion schedule. Caller holds st.mu.
+func (st *ashaState) settle(r int) {
+	if r >= st.maxRung {
+		return
+	}
+	members := st.rungs[r]
+	for st.settled[r] < len(members) && members[st.settled[r]].state == memberDone {
+		st.settled[r]++
+		j := st.settled[r]
+		k := j / st.eta
+		if k < 1 {
+			continue
+		}
+		for _, m := range topMembers(members[:j], k) {
+			if members[m].promoted {
+				continue
+			}
+			members[m].promoted = true
+			st.rungs[r+1] = append(st.rungs[r+1], ashaMember{
+				cfg:    members[m].cfg,
+				cfgIdx: members[m].cfgIdx,
+			})
+		}
+	}
+}
+
+// topMembers returns the indices of the k highest-scoring members (ties
+// broken by configuration index), in rank order.
+func topMembers(members []ashaMember, k int) []int {
+	idx := make([]int, len(members))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort: rung prefixes are small and the call is per-completion.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &members[idx[j-1]], &members[idx[j]]
+			if a.score > b.score || (a.score == b.score && a.cfgIdx < b.cfgIdx) {
+				break
+			}
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+		}
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// best returns the top configuration of the highest rung with a completed
+// evaluation (ties broken by configuration index, so the choice is
+// deterministic).
 func (st *ashaState) best() (search.Config, float64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for r := st.maxRung; r >= 0; r-- {
-		if len(st.rungs[r]) == 0 {
-			continue
-		}
-		bestScore := math.Inf(-1)
-		var best search.Config
-		for _, e := range st.rungs[r] {
-			if e.score > bestScore {
-				bestScore = e.score
-				best = e.cfg
+		bestIdx := -1
+		for m := range st.rungs[r] {
+			mem := &st.rungs[r][m]
+			if mem.state != memberDone {
+				continue
+			}
+			if bestIdx < 0 {
+				bestIdx = m
+				continue
+			}
+			cur := &st.rungs[r][bestIdx]
+			if mem.score > cur.score || (mem.score == cur.score && mem.cfgIdx < cur.cfgIdx) {
+				bestIdx = m
 			}
 		}
-		return best, bestScore
+		if bestIdx >= 0 {
+			return st.rungs[r][bestIdx].cfg, st.rungs[r][bestIdx].score
+		}
 	}
 	return search.Config{}, 0
 }

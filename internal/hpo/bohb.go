@@ -1,6 +1,8 @@
 package hpo
 
 import (
+	"context"
+
 	"enhancedbhpo/internal/bayes"
 	"enhancedbhpo/internal/rng"
 	"enhancedbhpo/internal/search"
@@ -19,6 +21,12 @@ type BOHBOptions struct {
 // instead of uniform sampling. With enhanced components this is the
 // paper's "BOHB+".
 func BOHB(space *search.Space, ev Evaluator, comps Components, opts BOHBOptions) (*Result, error) {
+	return BOHBCtx(context.Background(), space, ev, comps, opts)
+}
+
+// BOHBCtx is BOHB with cancellation: a cancelled or expired ctx stops the
+// run before the next evaluation starts and returns ctx's error.
+func BOHBCtx(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts BOHBOptions) (*Result, error) {
 	comps = comps.withDefaults()
 	if err := validateRun(space, comps); err != nil {
 		return nil, err
@@ -52,7 +60,7 @@ func BOHB(space *search.Space, ev Evaluator, comps Components, opts BOHBOptions)
 	observe := func(cfg search.Config, budget int, score float64) {
 		sampler.Add(bayes.Observation{Config: cfg, Budget: budget, Score: score})
 	}
-	res, err := runBrackets("bohb", ev, comps, hb, root, provider, observe)
+	res, err := runBrackets(ctx, "bohb", ev, comps, hb, root, provider, observe)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,168 @@
+package hpo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"enhancedbhpo/internal/rng"
+	"enhancedbhpo/internal/search"
+)
+
+// TestASHAWorkerCountDeterminism is the regression test for the promotion
+// replay: ASHA with 1 worker and with 8 workers on the same seed must run
+// the same set of evaluations and select the same best configuration.
+func TestASHAWorkerCountDeterminism(t *testing.T) {
+	space, quality := gradedSpace()
+	for _, seed := range []uint64{1, 7, 42} {
+		ev := &fakeEvaluator{space: space, full: 1600, quality: quality, noise: 0.001}
+		base := ASHAOptions{Eta: 2, MinBudget: 100, MaxConfigs: 16, Seed: seed}
+		serialOpts := base
+		serialOpts.Workers = 1
+		serial, err := ASHA(space, ev, vanComps(), serialOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallelOpts := base
+		parallelOpts.Workers = 8
+		parallel, err := ASHA(space, ev, vanComps(), parallelOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel.Best.ID() != serial.Best.ID() {
+			t.Fatalf("seed %d: workers=8 picked %s, workers=1 picked %s",
+				seed, parallel.Best.ID(), serial.Best.ID())
+		}
+		if parallel.BestScore != serial.BestScore {
+			t.Fatalf("seed %d: best score %v vs %v", seed, parallel.BestScore, serial.BestScore)
+		}
+		if got, want := trialKeys(parallel), trialKeys(serial); !equalStrings(got, want) {
+			t.Fatalf("seed %d: evaluation sets diverged:\n workers=8: %v\n workers=1: %v",
+				seed, got, want)
+		}
+	}
+}
+
+// trialKeys returns the sorted (config, rung, score) keys of a run — the
+// scheduling-independent fingerprint of what was evaluated.
+func trialKeys(res *Result) []string {
+	keys := make([]string, 0, len(res.Trials))
+	for _, tr := range res.Trials {
+		keys = append(keys, fmt.Sprintf("%s@%d=%x", tr.Config.ID(), tr.Round, tr.Score))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// countingEvaluator wraps fakeEvaluator and counts Evaluate calls.
+type countingEvaluator struct {
+	inner Evaluator
+	calls atomic.Int64
+}
+
+func (c *countingEvaluator) FullBudget() int { return c.inner.FullBudget() }
+
+func (c *countingEvaluator) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([]float64, error) {
+	c.calls.Add(1)
+	return c.inner.Evaluate(cfg, budget, r)
+}
+
+// TestCtxCancellationStopsOptimizers cancels a context mid-run and checks
+// that every Ctx variant returns context.Canceled and stops evaluating
+// promptly (within one in-flight evaluation per worker).
+func TestCtxCancellationStopsOptimizers(t *testing.T) {
+	space, quality := gradedSpace()
+	run := func(name string, workers int, f func(ctx context.Context, ev Evaluator) error) {
+		t.Run(name, func(t *testing.T) {
+			inner := &fakeEvaluator{space: space, full: 1600, quality: quality, noise: 0.001}
+			ev := &countingEvaluator{inner: inner}
+			ctx, cancel := context.WithCancel(context.Background())
+			const stopAfter = 3
+			hook := &cancelAfter{n: stopAfter, cancel: cancel, ev: ev}
+			err := f(ctx, hook)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("got error %v, want context.Canceled", err)
+			}
+			// The cancel fires during evaluation stopAfter; afterwards at
+			// most one already-dispatched evaluation per worker may finish.
+			if got := ev.calls.Load(); got > int64(stopAfter+workers) {
+				t.Fatalf("ran %d evaluations after cancelling at %d with %d workers", got, stopAfter, workers)
+			}
+		})
+	}
+
+	run("sha", 1, func(ctx context.Context, ev Evaluator) error {
+		_, err := SuccessiveHalvingCtx(ctx, space.Enumerate(), ev, vanComps(), SHAOptions{Seed: 1})
+		return err
+	})
+	run("sha-parallel", 4, func(ctx context.Context, ev Evaluator) error {
+		_, err := SuccessiveHalvingCtx(ctx, space.Enumerate(), ev, vanComps(), SHAOptions{Seed: 1, Workers: 4})
+		return err
+	})
+	run("hyperband", 1, func(ctx context.Context, ev Evaluator) error {
+		_, err := HyperbandCtx(ctx, space, ev, vanComps(), HyperbandOptions{Eta: 3, MinBudget: 50, Seed: 2})
+		return err
+	})
+	run("bohb", 1, func(ctx context.Context, ev Evaluator) error {
+		_, err := BOHBCtx(ctx, space, ev, vanComps(), BOHBOptions{
+			Hyperband: HyperbandOptions{Eta: 3, MinBudget: 50, Seed: 3},
+		})
+		return err
+	})
+	run("asha", 4, func(ctx context.Context, ev Evaluator) error {
+		_, err := ASHACtx(ctx, space, ev, vanComps(), ASHAOptions{
+			Eta: 2, MinBudget: 100, MaxConfigs: 16, Workers: 4, Seed: 4,
+		})
+		return err
+	})
+}
+
+// cancelAfter cancels the context when the n-th evaluation starts.
+type cancelAfter struct {
+	n      int64
+	cancel context.CancelFunc
+	ev     *countingEvaluator
+}
+
+func (c *cancelAfter) FullBudget() int { return c.ev.FullBudget() }
+
+func (c *cancelAfter) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([]float64, error) {
+	if c.ev.calls.Load()+1 >= c.n {
+		c.cancel()
+	}
+	return c.ev.Evaluate(cfg, budget, r)
+}
+
+// TestPreCancelledCtx verifies that an already-cancelled context aborts
+// before any evaluation runs.
+func TestPreCancelledCtx(t *testing.T) {
+	space, quality := gradedSpace()
+	inner := &fakeEvaluator{space: space, full: 1600, quality: quality, noise: 0.001}
+	ev := &countingEvaluator{inner: inner}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ASHACtx(ctx, space, ev, vanComps(), ASHAOptions{MinBudget: 100, MaxConfigs: 8, Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ASHA: got %v", err)
+	}
+	if _, err := SuccessiveHalvingCtx(ctx, space.Enumerate(), ev, vanComps(), SHAOptions{Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SHA: got %v", err)
+	}
+	if got := ev.calls.Load(); got != 0 {
+		t.Fatalf("pre-cancelled context still ran %d evaluations", got)
+	}
+}

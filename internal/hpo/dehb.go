@@ -1,6 +1,7 @@
 package hpo
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -112,7 +113,7 @@ func DEHB(space *search.Space, ev Evaluator, comps Components, opts DEHBOptions)
 			archive[id] = entry{cfg: cfg, score: score}
 		}
 	}
-	res, err := runBrackets("dehb", ev, comps, hb, root, provider, observe)
+	res, err := runBrackets(context.Background(), "dehb", ev, comps, hb, root, provider, observe)
 	if err != nil {
 		return nil, err
 	}

@@ -50,6 +50,7 @@ func NewCVEvaluator(train *dataset.Dataset, base nn.Config, comps Components) *C
 		Folds:  comps.Folds,
 		K:      comps.K,
 		Groups: comps.Groups,
+		UseF1:  comps.UseF1,
 	}
 }
 
@@ -124,6 +125,9 @@ func evalTrial(ev Evaluator, comps Components, cfg search.Config, budget, round 
 		Gamma:      gamma,
 		Score:      comps.Scorer.Score(foldScores, gamma),
 		Elapsed:    time.Since(start),
+	}
+	if comps.Observe != nil {
+		comps.Observe(t)
 	}
 	return t, nil
 }

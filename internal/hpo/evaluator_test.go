@@ -47,8 +47,13 @@ func TestCVEvaluatorUseF1(t *testing.T) {
 	cfg := space.NewConfig([]int{0})
 	comps := VanillaComponents(5)
 	acc := NewCVEvaluator(train, base, comps)
-	f1 := NewCVEvaluator(train, base, comps)
-	f1.UseF1 = true
+	if acc.UseF1 {
+		t.Fatal("UseF1 set without WithF1")
+	}
+	f1 := NewCVEvaluator(train, base, comps.WithF1())
+	if !f1.UseF1 {
+		t.Fatal("NewCVEvaluator dropped Components.UseF1")
+	}
 	accScores, err := acc.Evaluate(cfg, 200, rng.New(2))
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package hpo
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -47,6 +48,12 @@ type observer func(cfg search.Config, budget int, score float64)
 //
 // With enhanced components this is the paper's "HB+".
 func Hyperband(space *search.Space, ev Evaluator, comps Components, opts HyperbandOptions) (*Result, error) {
+	return HyperbandCtx(context.Background(), space, ev, comps, opts)
+}
+
+// HyperbandCtx is Hyperband with cancellation: a cancelled or expired ctx
+// stops the run before the next evaluation starts and returns ctx's error.
+func HyperbandCtx(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts HyperbandOptions) (*Result, error) {
 	comps = comps.withDefaults()
 	if err := validateRun(space, comps); err != nil {
 		return nil, err
@@ -54,11 +61,11 @@ func Hyperband(space *search.Space, ev Evaluator, comps Components, opts Hyperba
 	opts = opts.withDefaults(comps.K)
 	root := rng.New(opts.Seed ^ 0x4b71)
 	provider := func(r *rng.RNG, n int) []search.Config { return space.SampleN(r, n) }
-	return runBrackets("hyperband", ev, comps, opts, root, provider, nil)
+	return runBrackets(ctx, "hyperband", ev, comps, opts, root, provider, nil)
 }
 
 // runBrackets is the shared Hyperband/BOHB engine.
-func runBrackets(method string, ev Evaluator, comps Components, opts HyperbandOptions, root *rng.RNG, provide configProvider, observe observer) (*Result, error) {
+func runBrackets(ctx context.Context, method string, ev Evaluator, comps Components, opts HyperbandOptions, root *rng.RNG, provide configProvider, observe observer) (*Result, error) {
 	start := time.Now()
 	res := &Result{Method: method}
 	R := float64(ev.FullBudget())
@@ -99,6 +106,9 @@ func runBrackets(method string, ev Evaluator, comps Components, opts HyperbandOp
 			}
 			scores := make([]ranked, 0, len(current))
 			for ci, cfg := range current {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				tr, err := evalTrial(ev, comps, cfg, ri, round, root.Split(trialTag(round, ci)))
 				if err != nil {
 					return nil, err

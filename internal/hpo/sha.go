@@ -1,6 +1,7 @@
 package hpo
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -44,6 +45,14 @@ func (o SHAOptions) withDefaults(k int) SHAOptions {
 // With vanilla components this is plain SHA; with enhanced components
 // (group folds + UCB-β scorer) it is the paper's "SHA+".
 func SuccessiveHalving(configs []search.Config, ev Evaluator, comps Components, opts SHAOptions) (*Result, error) {
+	return SuccessiveHalvingCtx(context.Background(), configs, ev, comps, opts)
+}
+
+// SuccessiveHalvingCtx is SuccessiveHalving with cancellation: when ctx is
+// cancelled or times out the run stops before starting another evaluation
+// and returns ctx's error. Evaluations already in flight are allowed to
+// finish, so the run stops within one evaluation of the cancel.
+func SuccessiveHalvingCtx(ctx context.Context, configs []search.Config, ev Evaluator, comps Components, opts SHAOptions) (*Result, error) {
 	comps = comps.withDefaults()
 	if len(configs) == 0 {
 		return nil, fmt.Errorf("hpo: SHA needs at least one configuration")
@@ -70,7 +79,7 @@ func SuccessiveHalving(configs []search.Config, ev Evaluator, comps Components, 
 		if bt > budget {
 			bt = budget
 		}
-		trials, err := evalRound(ev, comps, current, bt, round, opts.Workers, root)
+		trials, err := evalRound(ctx, ev, comps, current, bt, round, opts.Workers, root)
 		if err != nil {
 			return nil, err
 		}
@@ -96,11 +105,15 @@ func SuccessiveHalving(configs []search.Config, ev Evaluator, comps Components, 
 
 // evalRound evaluates one halving round, optionally with a worker pool.
 // Results are ordered by configuration index, so the outcome is identical
-// for any worker count.
-func evalRound(ev Evaluator, comps Components, configs []search.Config, budget, round, workers int, root *rng.RNG) ([]Trial, error) {
+// for any worker count. A cancelled ctx stops the round before the next
+// evaluation starts.
+func evalRound(ctx context.Context, ev Evaluator, comps Components, configs []search.Config, budget, round, workers int, root *rng.RNG) ([]Trial, error) {
 	trials := make([]Trial, len(configs))
 	if workers <= 1 || len(configs) == 1 {
 		for i, cfg := range configs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			tr, err := evalTrial(ev, comps, cfg, budget, round, root.Split(trialTag(round, i)))
 			if err != nil {
 				return nil, err
@@ -121,7 +134,11 @@ func evalRound(ev Evaluator, comps Components, configs []search.Config, budget, 
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				tr, err := evalTrial(ev, comps, configs[i], budget, round, root.Split(trialTag(round, i)))
+				err := ctx.Err()
+				var tr Trial
+				if err == nil {
+					tr, err = evalTrial(ev, comps, configs[i], budget, round, root.Split(trialTag(round, i)))
+				}
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {

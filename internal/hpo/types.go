@@ -34,6 +34,30 @@ type Components struct {
 	Scorer scoring.Scorer
 	// Groups are the §III-A instance groups; nil for vanilla components.
 	Groups *grouping.Groups
+	// UseF1 scores classification folds by F1 instead of accuracy (the
+	// paper reports F1 on the imbalanced datasets). Evaluators wired from
+	// these components (NewCVEvaluator) inherit it.
+	UseF1 bool
+	// Observe, when non-nil, receives every completed Trial as soon as it
+	// finishes, in completion order. Optimizers with concurrent workers
+	// call it from several goroutines, so implementations must be safe for
+	// concurrent use. It exists so a serving layer can report live anytime
+	// curves while a run is still in flight.
+	Observe func(Trial)
+}
+
+// WithF1 returns a copy of the components that scores classification folds
+// by F1.
+func (c Components) WithF1() Components {
+	c.UseF1 = true
+	return c
+}
+
+// WithObserver returns a copy of the components that reports every
+// completed trial to fn (see Observe for the concurrency contract).
+func (c Components) WithObserver(fn func(Trial)) Components {
+	c.Observe = fn
+	return c
 }
 
 func (c Components) withDefaults() Components {

@@ -53,6 +53,19 @@ func (r *RNG) Split(tag uint64) *RNG {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
+// Fingerprint returns a 64-bit digest of the generator's current state
+// without advancing it. Two generators at the same state (e.g. produced by
+// identical New/Split chains) share a fingerprint, so it identifies the
+// random stream an evaluation will consume — the basis of cache keys over
+// deterministic computations.
+func (r *RNG) Fingerprint() uint64 {
+	h := r.s[0]
+	h = splitmix64(&h) ^ rotl(r.s[1], 13)
+	h = splitmix64(&h) ^ rotl(r.s[2], 29)
+	h = splitmix64(&h) ^ rotl(r.s[3], 43)
+	return splitmix64(&h)
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9

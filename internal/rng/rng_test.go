@@ -217,3 +217,43 @@ func assertPanics(t *testing.T, name string, f func()) {
 	}()
 	f()
 }
+
+func TestFingerprint(t *testing.T) {
+	a, b := New(7), New(7)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identically seeded generators have different fingerprints")
+	}
+	if New(7).Split(3).Fingerprint() != New(7).Split(3).Fingerprint() {
+		t.Fatal("identical split chains have different fingerprints")
+	}
+	// Fingerprint must not advance the stream.
+	before := a.Fingerprint()
+	_ = a.Fingerprint()
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Fingerprint advanced the generator")
+	}
+	_ = before
+	// Distinct seeds and distinct split tags should (essentially always)
+	// give distinct fingerprints.
+	seen := map[uint64]bool{}
+	for seed := uint64(0); seed < 100; seed++ {
+		fp := New(seed).Fingerprint()
+		if seen[fp] {
+			t.Fatalf("fingerprint collision at seed %d", seed)
+		}
+		seen[fp] = true
+	}
+	for tag := uint64(0); tag < 100; tag++ {
+		fp := New(1).Split(tag).Fingerprint()
+		if seen[fp] {
+			t.Fatalf("fingerprint collision at split tag %d", tag)
+		}
+		seen[fp] = true
+	}
+	// A generator that has advanced has a different state fingerprint.
+	c := New(7)
+	c.Uint64()
+	if c.Fingerprint() == New(7).Fingerprint() {
+		t.Fatal("advanced generator kept the same fingerprint")
+	}
+}

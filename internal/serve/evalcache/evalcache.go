@@ -1,0 +1,117 @@
+// Package evalcache memoizes hpo.Evaluator calls. Evaluations in this
+// repository are deterministic functions of (configuration, budget, RNG
+// stream): the evaluator derives every random choice — subset sampling,
+// fold assignment, training seeds — from the RNG it is handed, and Split
+// never advances the parent. A cache keyed on (config ID, budget, RNG
+// fingerprint) therefore returns bit-identical fold scores, so repeated
+// job submissions over the same dataset — re-runs, method comparisons,
+// larger-budget follow-ups that revisit low rungs — skip the training
+// entirely.
+//
+// The cache must be scoped to one evaluator identity (dataset, base
+// config, fold builder, groups): config IDs are space-relative indices and
+// carry no meaning across datasets or spaces. The serve layer keys caches
+// by a job-spec signature for exactly this reason.
+package evalcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"enhancedbhpo/internal/hpo"
+	"enhancedbhpo/internal/rng"
+	"enhancedbhpo/internal/search"
+)
+
+// key identifies one deterministic evaluation.
+type key struct {
+	cfg    string
+	budget int
+	seed   uint64 // fingerprint of the RNG stream the evaluation consumes
+}
+
+// Cache wraps an Evaluator with a concurrency-safe memo table.
+type Cache struct {
+	inner hpo.Evaluator
+	// maxEntries bounds the table (0 = unbounded). When full, an
+	// arbitrary entry is evicted; the cache is a memo table, not an LRU,
+	// because hits cluster within and across whole runs rather than in
+	// recency windows.
+	maxEntries int
+
+	mu      sync.RWMutex
+	entries map[key][]float64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// New wraps inner with a cache holding at most maxEntries results
+// (0 = unbounded).
+func New(inner hpo.Evaluator, maxEntries int) *Cache {
+	return &Cache{
+		inner:      inner,
+		maxEntries: maxEntries,
+		entries:    map[key][]float64{},
+	}
+}
+
+// FullBudget implements hpo.Evaluator.
+func (c *Cache) FullBudget() int { return c.inner.FullBudget() }
+
+// Evaluate implements hpo.Evaluator: it returns the memoized fold scores
+// when the same (config, budget, RNG stream) has been evaluated before,
+// and delegates to the wrapped evaluator otherwise. Concurrent misses on
+// the same key may both compute; determinism makes the duplicate store a
+// no-op, trading a little duplicated work for never blocking one
+// evaluation on another.
+func (c *Cache) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([]float64, error) {
+	k := key{cfg: cfg.ID(), budget: budget, seed: r.Fingerprint()}
+	c.mu.RLock()
+	scores, ok := c.entries[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return append([]float64(nil), scores...), nil
+	}
+	c.misses.Add(1)
+	scores, err := c.inner.Evaluate(cfg, budget, r)
+	if err != nil {
+		return nil, err
+	}
+	stored := append([]float64(nil), scores...)
+	c.mu.Lock()
+	if c.maxEntries > 0 && len(c.entries) >= c.maxEntries {
+		for victim := range c.entries {
+			delete(c.entries, victim)
+			break
+		}
+	}
+	c.entries[k] = stored
+	c.mu.Unlock()
+	return scores, nil
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() Stats {
+	c.mu.RLock()
+	entries := len(c.entries)
+	c.mu.RUnlock()
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: entries}
+}

@@ -1,0 +1,211 @@
+package evalcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"enhancedbhpo/internal/rng"
+	"enhancedbhpo/internal/search"
+)
+
+// fakeEvaluator returns deterministic pseudo-scores derived from the
+// arguments, counting calls.
+type fakeEvaluator struct {
+	calls atomic.Int64
+	fail  bool
+}
+
+func (f *fakeEvaluator) FullBudget() int { return 1000 }
+
+func (f *fakeEvaluator) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([]float64, error) {
+	f.calls.Add(1)
+	if f.fail {
+		return nil, fmt.Errorf("evalcache test: injected failure")
+	}
+	scores := make([]float64, 3)
+	for i := range scores {
+		scores[i] = float64(budget) + r.Float64() + float64(cfg.Index(0))
+	}
+	return scores, nil
+}
+
+func testSpace() *search.Space {
+	return &search.Space{Dims: []search.Dimension{
+		{Name: "a", Values: []any{0, 1, 2, 3}},
+		{Name: "b", Values: []any{0, 1}},
+	}}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	space := testSpace()
+	inner := &fakeEvaluator{}
+	c := New(inner, 0)
+	cfg := space.NewConfig([]int{1, 0})
+	root := rng.New(9)
+
+	first, err := c.Evaluate(cfg, 100, root.Split(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("after one miss: %+v", s)
+	}
+	second, err := c.Evaluate(cfg, 100, root.Split(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("after one hit: %+v", s)
+	}
+	if inner.calls.Load() != 1 {
+		t.Fatalf("inner evaluator ran %d times, want 1", inner.calls.Load())
+	}
+	// Cached scores equal uncached ones bit-for-bit.
+	fresh, err := (&fakeEvaluator{}).Evaluate(cfg, 100, root.Split(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh {
+		if first[i] != fresh[i] || second[i] != fresh[i] {
+			t.Fatalf("score %d: cached %v / %v, uncached %v", i, first[i], second[i], fresh[i])
+		}
+	}
+	if rate := c.Stats().HitRate(); rate != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", rate)
+	}
+
+	// Different budget, different config, or different RNG stream all miss.
+	if _, err := c.Evaluate(cfg, 200, root.Split(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Evaluate(space.NewConfig([]int{2, 0}), 100, root.Split(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Evaluate(cfg, 100, root.Split(2)); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Misses != 4 {
+		t.Fatalf("distinct keys should all miss: %+v", s)
+	}
+}
+
+func TestCacheReturnsCopies(t *testing.T) {
+	space := testSpace()
+	c := New(&fakeEvaluator{}, 0)
+	cfg := space.NewConfig([]int{0, 0})
+	r := rng.New(3)
+	got, err := c.Evaluate(cfg, 50, r.Split(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = -1 // caller mutates its slice
+	again, err := c.Evaluate(cfg, 50, r.Split(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] == -1 {
+		t.Fatal("caller mutation leaked into the cache")
+	}
+	again[0] = -2
+	third, err := c.Evaluate(cfg, 50, r.Split(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third[0] == -2 {
+		t.Fatal("hit result aliases the cached slice")
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	space := testSpace()
+	inner := &fakeEvaluator{fail: true}
+	c := New(inner, 0)
+	cfg := space.NewConfig([]int{0, 0})
+	r := rng.New(4)
+	if _, err := c.Evaluate(cfg, 50, r.Split(1)); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("failed evaluation was cached: %+v", s)
+	}
+	inner.fail = false
+	if _, err := c.Evaluate(cfg, 50, r.Split(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 2 || s.Entries != 1 {
+		t.Fatalf("retry after failure: %+v", s)
+	}
+}
+
+func TestCacheMaxEntries(t *testing.T) {
+	space := testSpace()
+	c := New(&fakeEvaluator{}, 2)
+	r := rng.New(5)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Evaluate(space.NewConfig([]int{i, 0}), 50, r.Split(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.Entries > 2 {
+		t.Fatalf("cache grew past maxEntries: %+v", s)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines under -race:
+// all must observe identical scores for identical keys, and total
+// accounting must add up.
+func TestCacheConcurrent(t *testing.T) {
+	space := testSpace()
+	c := New(&fakeEvaluator{}, 0)
+	configs := space.Enumerate()
+	root := rng.New(11)
+	const goroutines = 16
+	const iters = 200
+	want := make([][]float64, len(configs))
+	for i, cfg := range configs {
+		scores, err := (&fakeEvaluator{}).Evaluate(cfg, 64, root.Split(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = scores
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g + it) % len(configs)
+				got, err := c.Evaluate(configs[i], 64, root.Split(uint64(i)))
+				if err != nil {
+					errc <- err
+					return
+				}
+				for j := range got {
+					if got[j] != want[i][j] {
+						errc <- fmt.Errorf("config %d score %d: %v != %v", i, j, got[j], want[i][j])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != goroutines*iters {
+		t.Fatalf("hits %d + misses %d != %d lookups", s.Hits, s.Misses, goroutines*iters)
+	}
+	if s.Entries != len(configs) {
+		t.Fatalf("%d entries for %d distinct keys", s.Entries, len(configs))
+	}
+	if s.Hits == 0 {
+		t.Fatal("concurrent run recorded no hits")
+	}
+}

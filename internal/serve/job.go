@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/hpo"
+	"enhancedbhpo/internal/trace"
+)
+
+// JobSpec is the JSON body of POST /jobs: a dataset reference, a search
+// space, a method and its options.
+type JobSpec struct {
+	// Dataset names one of the simulated paper datasets (dataset.Names).
+	Dataset string `json:"dataset"`
+	// Scale shrinks or grows the dataset. 0 selects 0.35, the repo's
+	// laptop-scale default.
+	Scale float64 `json:"scale,omitempty"`
+	// DatasetSeed drives data synthesis and (for enhanced jobs) group
+	// construction. Jobs with equal spec-except-seed/method share one
+	// evaluation-cache scope, so it is separate from Seed. 0 selects 1.
+	DatasetSeed uint64 `json:"dataset_seed,omitempty"`
+	// Method is one of sha, hyperband, bohb, asha.
+	Method string `json:"method"`
+	// Enhanced switches to the paper's "+" components (instance grouping,
+	// general+special folds, UCB-β score).
+	Enhanced bool `json:"enhanced,omitempty"`
+	// NumHPs is the Table III search-space prefix length (1-8). 0
+	// selects 4, the paper's HPO setting.
+	NumHPs int `json:"hps,omitempty"`
+	// MaxConfigs caps the configurations considered (SHA start set /
+	// ASHA samples). 0 selects the method default.
+	MaxConfigs int `json:"max_configs,omitempty"`
+	// Seed drives the search (sampling, per-trial streams). 0 selects 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Iters is the MLP training epoch count. 0 selects 20.
+	Iters int `json:"iters,omitempty"`
+	// UseF1 scores classification folds and the final model by F1.
+	UseF1 bool `json:"use_f1,omitempty"`
+	// Workers is the job's own evaluation-goroutine count; every
+	// evaluation still needs a slot of the shared pool. 0 selects the
+	// pool size.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutSec aborts the job after the given wall time. 0 = no limit.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+func (s JobSpec) withDefaults() JobSpec {
+	if s.Scale == 0 {
+		s.Scale = 0.35
+	}
+	if s.DatasetSeed == 0 {
+		s.DatasetSeed = 1
+	}
+	if s.NumHPs == 0 {
+		s.NumHPs = 4
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Iters == 0 {
+		s.Iters = 20
+	}
+	return s
+}
+
+// Validate reports the first problem with the spec.
+func (s JobSpec) Validate() error {
+	if _, err := dataset.SpecByName(s.Dataset); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	switch s.Method {
+	case "sha", "hyperband", "bohb", "asha":
+	default:
+		return fmt.Errorf("serve: unknown method %q (want sha, hyperband, bohb or asha)", s.Method)
+	}
+	if s.Scale < 0 || s.Scale > 3 {
+		return fmt.Errorf("serve: scale %v out of (0, 3]", s.Scale)
+	}
+	if s.NumHPs < 0 || s.NumHPs > 8 {
+		return fmt.Errorf("serve: hps %d out of [1, 8]", s.NumHPs)
+	}
+	if s.MaxConfigs < 0 {
+		return fmt.Errorf("serve: negative max_configs")
+	}
+	if s.Iters < 0 || s.Iters > 10_000 {
+		return fmt.Errorf("serve: iters %d out of [1, 10000]", s.Iters)
+	}
+	if s.TimeoutSec < 0 {
+		return fmt.Errorf("serve: negative timeout_sec")
+	}
+	return nil
+}
+
+// cacheScope is the evaluation-cache key prefix: everything that shapes
+// what Evaluate(config, budget, rng) computes — the data, the base model
+// and the fold machinery — but not the search itself. Jobs agreeing on
+// this string share cached fold scores.
+func (s JobSpec) cacheScope() string {
+	variant := "vanilla"
+	if s.Enhanced {
+		variant = "enhanced"
+	}
+	return fmt.Sprintf("%s|%g|%d|%d|%d|%t|%s",
+		s.Dataset, s.Scale, s.DatasetSeed, s.NumHPs, s.Iters, s.UseF1, variant)
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	// StatusQueued: accepted, waiting for a job slot.
+	StatusQueued Status = "queued"
+	// StatusRunning: evaluations in progress.
+	StatusRunning Status = "running"
+	// StatusDone: finished successfully; result available.
+	StatusDone Status = "done"
+	// StatusFailed: aborted with an error.
+	StatusFailed Status = "failed"
+	// StatusCancelled: stopped by DELETE /jobs/{id} or timeout.
+	StatusCancelled Status = "cancelled"
+)
+
+// Job is one tracked optimization run.
+type Job struct {
+	// ID is the handle used by the HTTP API.
+	ID string
+	// Spec is the submission after defaulting.
+	Spec JobSpec
+
+	cancel func()
+
+	mu        sync.Mutex
+	status    Status
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	trials    []hpo.Trial
+	result    *hpo.Result
+	testScore float64
+	hasTest   bool
+}
+
+// observe implements the hpo.Components trial observer; it is called
+// concurrently by optimizer workers.
+func (j *Job) observe(tr hpo.Trial) {
+	j.mu.Lock()
+	j.trials = append(j.trials, tr)
+	j.mu.Unlock()
+}
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Cancel asks the job to stop after its in-flight evaluations. Safe to
+// call in any state; cancelling a finished job is a no-op.
+func (j *Job) Cancel() {
+	j.cancel()
+}
+
+// Snapshot is a point-in-time JSON view of a job, served by GET
+// /jobs/{id}. Curve uses the trace package's shared serialization.
+type Snapshot struct {
+	ID          string         `json:"id"`
+	Status      Status         `json:"status"`
+	Spec        JobSpec        `json:"spec"`
+	Error       string         `json:"error,omitempty"`
+	SubmittedAt time.Time      `json:"submitted_at"`
+	StartedAt   *time.Time     `json:"started_at,omitempty"`
+	FinishedAt  *time.Time     `json:"finished_at,omitempty"`
+	Evaluations int            `json:"evaluations"`
+	Curve       []trace.Point  `json:"curve"`
+	Sparkline   string         `json:"sparkline,omitempty"`
+	BestConfig  map[string]any `json:"best_config,omitempty"`
+	BestScore   *float64       `json:"best_score,omitempty"`
+	TestScore   *float64       `json:"test_score,omitempty"`
+}
+
+// Snapshot renders the job's current state, including the live anytime
+// curve of a run still in flight.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	snap := Snapshot{
+		ID:          j.ID,
+		Status:      j.status,
+		Spec:        j.Spec,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+		Evaluations: len(j.trials),
+		Curve:       trace.Anytime(j.trials),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		snap.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		snap.FinishedAt = &t
+	}
+	snap.Sparkline = trace.Sparkline(snap.Curve, 40)
+	if j.result != nil {
+		if sp := j.result.Best.Space(); sp != nil {
+			cfg := map[string]any{}
+			for _, dim := range sp.Dims {
+				cfg[dim.Name] = j.result.Best.Value(dim.Name)
+			}
+			snap.BestConfig = cfg
+		}
+		score := j.result.BestScore
+		snap.BestScore = &score
+	}
+	if j.hasTest {
+		ts := j.testScore
+		snap.TestScore = &ts
+	}
+	return snap
+}

@@ -1,0 +1,82 @@
+// Package serve is the HPO job service behind cmd/bhpod: a long-running
+// manager that accepts job submissions over HTTP, schedules their
+// evaluations on one shared bounded worker pool, memoizes fold scores in
+// per-dataset evaluation caches, streams live anytime curves from runs in
+// flight, and cancels jobs on request. It turns the blocking library calls
+// of internal/hpo into an observable, multi-tenant service.
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+
+	"enhancedbhpo/internal/hpo"
+	"enhancedbhpo/internal/rng"
+	"enhancedbhpo/internal/search"
+)
+
+// Pool is a bounded slot pool shared by every job's evaluations. Each
+// optimizer may spin up its own worker goroutines, but an evaluation only
+// proceeds while holding a slot, so total concurrent training across all
+// jobs never exceeds the pool size — the service's one global knob for CPU
+// pressure.
+type Pool struct {
+	slots chan struct{}
+	inUse atomic.Int64
+}
+
+// NewPool returns a pool with the given number of slots (minimum 1).
+func NewPool(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{slots: make(chan struct{}, size)}
+}
+
+// Acquire blocks until a slot is free or ctx is done, returning ctx's
+// error in the latter case.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case p.slots <- struct{}{}:
+		p.inUse.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot acquired with Acquire.
+func (p *Pool) Release() {
+	p.inUse.Add(-1)
+	<-p.slots
+}
+
+// Size returns the pool capacity.
+func (p *Pool) Size() int { return cap(p.slots) }
+
+// InUse returns the number of slots currently held.
+func (p *Pool) InUse() int { return int(p.inUse.Load()) }
+
+// pooledEvaluator gates a job's evaluations through the shared pool and
+// counts them for the service metrics. It carries the job's context so a
+// cancelled job stops waiting for slots immediately.
+type pooledEvaluator struct {
+	inner  hpo.Evaluator
+	pool   *Pool
+	ctx    context.Context
+	onEval func()
+}
+
+func (e *pooledEvaluator) FullBudget() int { return e.inner.FullBudget() }
+
+func (e *pooledEvaluator) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([]float64, error) {
+	if err := e.pool.Acquire(e.ctx); err != nil {
+		return nil, err
+	}
+	defer e.pool.Release()
+	scores, err := e.inner.Evaluate(cfg, budget, r)
+	if err == nil && e.onEval != nil {
+		e.onEval()
+	}
+	return scores, err
+}

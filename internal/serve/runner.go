@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/hpo"
+	"enhancedbhpo/internal/rng"
+	"enhancedbhpo/internal/search"
+)
+
+// run executes one job end to end: wait for a job slot, build the shared
+// scope, run the optimizer over the pooled, cached evaluator, then refit
+// the winner and score it on the held-out test split.
+func (m *Manager) run(ctx context.Context, job *Job, cancel context.CancelFunc) {
+	defer m.wg.Done()
+	defer cancel()
+
+	// Queued until a job slot frees up (MaxJobs gate); cancellation while
+	// queued never touches the pool.
+	select {
+	case m.jobSlots <- struct{}{}:
+	case <-ctx.Done():
+		m.finish(job, nil, nil, ctx.Err())
+		return
+	}
+	defer func() { <-m.jobSlots }()
+
+	job.mu.Lock()
+	job.status = StatusRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+
+	scope, err := m.scopeFor(job.Spec)
+	if err != nil {
+		m.finish(job, nil, nil, err)
+		return
+	}
+	res, err := m.optimize(ctx, job, scope)
+	m.finish(job, scope, res, err)
+}
+
+// optimize dispatches to the context-aware optimizer selected by the spec.
+func (m *Manager) optimize(ctx context.Context, job *Job, scope *evalScope) (*hpo.Result, error) {
+	spec := job.Spec
+	space, err := search.TableIIISpace(spec.NumHPs)
+	if err != nil {
+		return nil, err
+	}
+	comps := scope.comps.WithObserver(job.observe)
+	ev := &pooledEvaluator{
+		inner:  scope.cache,
+		pool:   m.pool,
+		ctx:    ctx,
+		onEval: func() { m.evals.Add(1) },
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = m.pool.Size()
+	}
+	switch spec.Method {
+	case "sha":
+		configs := space.Enumerate()
+		if spec.MaxConfigs > 0 && spec.MaxConfigs < len(configs) {
+			// Mirror core.Run's sampling stream so service runs match CLI
+			// runs with the same seed.
+			configs = space.SampleN(rng.New(spec.Seed^0xc0de).Split(2), spec.MaxConfigs)
+		}
+		return hpo.SuccessiveHalvingCtx(ctx, configs, ev, comps, hpo.SHAOptions{
+			Seed: spec.Seed, Workers: workers,
+		})
+	case "hyperband":
+		return hpo.HyperbandCtx(ctx, space, ev, comps, hpo.HyperbandOptions{Seed: spec.Seed})
+	case "bohb":
+		return hpo.BOHBCtx(ctx, space, ev, comps, hpo.BOHBOptions{
+			Hyperband: hpo.HyperbandOptions{Seed: spec.Seed},
+		})
+	case "asha":
+		return hpo.ASHACtx(ctx, space, ev, comps, hpo.ASHAOptions{
+			MaxConfigs: spec.MaxConfigs, Workers: workers, Seed: spec.Seed,
+		})
+	}
+	// Unreachable: Validate rejects other methods at submission.
+	return nil, errors.New("serve: unsupported method")
+}
+
+// finish records the job's terminal state. A successful run is refitted on
+// the full training set and scored on the test split, matching the
+// paper's final step.
+func (m *Manager) finish(job *Job, scope *evalScope, res *hpo.Result, err error) {
+	status := StatusDone
+	var testScore float64
+	hasTest := false
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = StatusCancelled
+		res = nil
+		err = nil
+	case err != nil:
+		status = StatusFailed
+		res = nil
+	default:
+		model, ferr := scope.cv.FitFull(res.Best, rng.New(job.Spec.Seed^0xf17).Uint64())
+		if ferr != nil {
+			status = StatusFailed
+			err = ferr
+			res = nil
+		} else if job.Spec.UseF1 && scope.test.Kind == dataset.Classification {
+			testScore, hasTest = model.ScoreF1(scope.test), true
+		} else {
+			testScore, hasTest = model.Score(scope.test), true
+		}
+	}
+	job.mu.Lock()
+	job.status = status
+	job.finished = time.Now()
+	if err != nil {
+		job.errMsg = err.Error()
+	}
+	job.result = res
+	job.testScore = testScore
+	job.hasTest = hasTest
+	job.mu.Unlock()
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Server exposes a Manager over HTTP/JSON.
+//
+//	POST   /jobs        submit a JobSpec, returns the queued job snapshot
+//	GET    /jobs        list all jobs (snapshots without curves)
+//	GET    /jobs/{id}   one job's status + live anytime curve
+//	DELETE /jobs/{id}   cancel a job
+//	GET    /healthz     liveness probe
+//	GET    /metrics     service counters (jobs, pool, cache, eval rate)
+type Server struct {
+	manager *Manager
+	mux     *http.ServeMux
+}
+
+// NewServer wires the HTTP routes around the manager.
+func NewServer(m *Manager) *Server {
+	s := &Server{manager: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.submitJob)
+	s.mux.HandleFunc("GET /jobs", s.listJobs)
+	s.mux.HandleFunc("GET /jobs/{id}", s.getJob)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.cancelJob)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	job, err := s.manager.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.manager.Jobs()
+	out := make([]Snapshot, 0, len(jobs))
+	for _, j := range jobs {
+		snap := j.Snapshot()
+		// Keep the listing light: curves are per-job payloads.
+		snap.Curve = nil
+		snap.Sparkline = ""
+		out = append(out, snap)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.manager.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.manager.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	switch job.Status() {
+	case StatusDone, StatusFailed, StatusCancelled:
+		writeError(w, http.StatusConflict, "job %s already %s", job.ID, job.Status())
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+type healthBody struct {
+	Status    string  `json:"status"`
+	UptimeSec float64 `json:"uptime_sec"`
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthBody{
+		Status:    "ok",
+		UptimeSec: time.Since(s.manager.started).Seconds(),
+	})
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.Metrics())
+}
