@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check fmt serve clean
+.PHONY: all build test race vet check crash fmt serve clean
 
 all: build
 
@@ -19,7 +19,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race
+# Crash-safety suite: journal replay/compaction, kill/restart recovery,
+# panic isolation, retry + failure budget, timeout/shutdown reasons, drain.
+crash:
+	$(GO) test -race -count=1 ./internal/serve/journal/...
+	$(GO) test -race -count=1 -run 'TestRestartRecovery|TestPanicIsolation|TestTransientFailureRetried|TestFailureBudgetAbsorbsTrial|TestTimeoutReason|TestShutdownWithInFlightJobs|TestDrainRefusesSubmissions' ./internal/serve/
+
+check: vet race crash
 
 fmt:
 	gofmt -l -w .

@@ -3,18 +3,31 @@
 // shared bounded worker pool with a per-dataset evaluation cache, and
 // reports live anytime curves while jobs are in flight.
 //
+// With -data-dir set the daemon is crash-safe: job specs and terminal
+// results are journaled to an append-only JSONL log, and a restarted
+// daemon rebuilds its job table from the journal — finished jobs keep
+// their results and anytime curves, jobs that were mid-run come back as
+// cancelled with reason "interrupted", and jobs that were still queued
+// are re-enqueued and run again.
+//
 // Usage:
 //
 //	bhpod [-addr :8149] [-workers N] [-max-jobs 4] [-cache-entries 65536]
+//	      [-data-dir DIR] [-drain-timeout 30s]
+//	      [-eval-attempts 2] [-retry-backoff 50ms] [-failure-budget 3]
 //
 // Endpoints:
 //
 //	POST   /jobs        submit a job (JSON spec: dataset, method, ...)
 //	GET    /jobs        list jobs
 //	GET    /jobs/{id}   job status + incumbent curve
-//	DELETE /jobs/{id}   cancel a job
-//	GET    /healthz     liveness probe
+//	DELETE /jobs/{id}   cancel a job (idempotent on finished jobs)
+//	GET    /healthz     liveness probe ("draining" during shutdown)
 //	GET    /metrics     service counters
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: new submissions are
+// refused with 503, in-flight evaluations get -drain-timeout to finish,
+// every outcome is journaled, and then the process exits.
 //
 // See the README's "Running the service" section for a curl walkthrough.
 package main
@@ -37,32 +50,53 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8149", "listen address")
-		workers = flag.Int("workers", runtime.NumCPU(), "shared evaluation pool size across all jobs")
-		maxJobs = flag.Int("max-jobs", 4, "max concurrently running jobs (excess stay queued)")
-		cacheN  = flag.Int("cache-entries", 1<<16, "evaluation cache entries per dataset scope")
+		addr     = flag.String("addr", ":8149", "listen address")
+		workers  = flag.Int("workers", runtime.NumCPU(), "shared evaluation pool size across all jobs")
+		maxJobs  = flag.Int("max-jobs", 4, "max concurrently running jobs (excess stay queued)")
+		cacheN   = flag.Int("cache-entries", 1<<16, "evaluation cache entries per dataset scope (LRU)")
+		dataDir  = flag.String("data-dir", "", "journal directory for crash-safe job persistence (empty = in-memory only)")
+		drainTmo = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight jobs may finish after SIGTERM before being cancelled")
+		attempts = flag.Int("eval-attempts", 2, "total tries per evaluation before it counts as a failure")
+		backoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "base (jittered) delay between evaluation retries")
+		failures = flag.Int("failure-budget", 3, "evaluation failures a job absorbs before it is failed")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *maxJobs, *cacheN); err != nil {
+	cfg := serve.Config{
+		PoolSize:      *workers,
+		MaxJobs:       *maxJobs,
+		CacheEntries:  *cacheN,
+		DataDir:       *dataDir,
+		EvalAttempts:  *attempts,
+		RetryBackoff:  *backoff,
+		FailureBudget: *failures,
+	}
+	if err := run(*addr, cfg, *drainTmo); err != nil {
 		fmt.Fprintln(os.Stderr, "bhpod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, maxJobs, cacheEntries int) error {
-	manager := serve.NewManager(serve.Config{
-		PoolSize:     workers,
-		MaxJobs:      maxJobs,
-		CacheEntries: cacheEntries,
-	})
+func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
+	var manager *serve.Manager
+	var err error
+	if cfg.DataDir != "" {
+		manager, err = serve.NewManagerFromJournal(cfg)
+		if err != nil {
+			return fmt.Errorf("recovering journal: %w", err)
+		}
+		log.Printf("bhpod: journal at %s recovered (%d jobs)", cfg.DataDir, len(manager.Jobs()))
+	} else {
+		manager = serve.NewManager(cfg)
+	}
+	handler := serve.NewServer(manager)
 	srv := &http.Server{
 		Addr:    addr,
-		Handler: serve.NewServer(manager),
+		Handler: handler,
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("bhpod listening on %s (pool=%d, max-jobs=%d)", addr, workers, maxJobs)
+		log.Printf("bhpod listening on %s (pool=%d, max-jobs=%d)", addr, cfg.PoolSize, cfg.MaxJobs)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -72,7 +106,17 @@ func run(addr string, workers, maxJobs, cacheEntries int) error {
 	case err := <-errc:
 		return err
 	case sig := <-stop:
-		log.Printf("bhpod: %v, shutting down", sig)
+		log.Printf("bhpod: %v, draining (timeout %s)", sig, drainTimeout)
+	}
+
+	// Graceful drain: refuse new submissions, let in-flight evaluations
+	// finish within the drain timeout, then cancel whatever remains with
+	// reason "shutdown". Every terminal record is journaled before exit.
+	handler.SetDraining(true)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelDrain()
+	if err := manager.Drain(drainCtx); err != nil {
+		log.Printf("bhpod: drain timeout, cancelling remaining jobs")
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)

@@ -15,6 +15,7 @@
 package evalcache
 
 import (
+	"container/list"
 	"sync"
 	"sync/atomic"
 
@@ -30,30 +31,40 @@ type key struct {
 	seed   uint64 // fingerprint of the RNG stream the evaluation consumes
 }
 
-// Cache wraps an Evaluator with a concurrency-safe memo table.
+// entry is one cached result on the recency list.
+type entry struct {
+	k      key
+	scores []float64
+}
+
+// Cache wraps an Evaluator with a concurrency-safe LRU memo table.
 type Cache struct {
 	inner hpo.Evaluator
-	// maxEntries bounds the table (0 = unbounded). When full, an
-	// arbitrary entry is evicted; the cache is a memo table, not an LRU,
-	// because hits cluster within and across whole runs rather than in
-	// recency windows.
+	// maxEntries bounds the table (0 = unbounded). When full, the least
+	// recently used entry is evicted: re-runs and larger-budget
+	// follow-ups revisit the keys they just touched, so recency tracks
+	// which entries the active jobs still need while long-cold entries
+	// from finished scopes age out.
 	maxEntries int
 
-	mu      sync.RWMutex
-	entries map[key][]float64
+	mu      sync.Mutex
+	entries map[key]*list.Element // values are *entry
+	recency list.List             // front = most recently used
 
 	hits   atomic.Int64
 	misses atomic.Int64
 }
 
 // New wraps inner with a cache holding at most maxEntries results
-// (0 = unbounded).
+// (0 = unbounded), evicting least-recently-used entries at capacity.
 func New(inner hpo.Evaluator, maxEntries int) *Cache {
-	return &Cache{
+	c := &Cache{
 		inner:      inner,
 		maxEntries: maxEntries,
-		entries:    map[key][]float64{},
+		entries:    map[key]*list.Element{},
 	}
+	c.recency.Init()
+	return c
 }
 
 // FullBudget implements hpo.Evaluator.
@@ -61,19 +72,21 @@ func (c *Cache) FullBudget() int { return c.inner.FullBudget() }
 
 // Evaluate implements hpo.Evaluator: it returns the memoized fold scores
 // when the same (config, budget, RNG stream) has been evaluated before,
-// and delegates to the wrapped evaluator otherwise. Concurrent misses on
-// the same key may both compute; determinism makes the duplicate store a
-// no-op, trading a little duplicated work for never blocking one
-// evaluation on another.
+// and delegates to the wrapped evaluator otherwise. Hits refresh the
+// entry's recency. Concurrent misses on the same key may both compute;
+// determinism makes the duplicate store a no-op, trading a little
+// duplicated work for never blocking one evaluation on another.
 func (c *Cache) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([]float64, error) {
 	k := key{cfg: cfg.ID(), budget: budget, seed: r.Fingerprint()}
-	c.mu.RLock()
-	scores, ok := c.entries[k]
-	c.mu.RUnlock()
-	if ok {
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		c.recency.MoveToFront(el)
+		scores := append([]float64(nil), el.Value.(*entry).scores...)
+		c.mu.Unlock()
 		c.hits.Add(1)
-		return append([]float64(nil), scores...), nil
+		return scores, nil
 	}
+	c.mu.Unlock()
 	c.misses.Add(1)
 	scores, err := c.inner.Evaluate(cfg, budget, r)
 	if err != nil {
@@ -81,13 +94,17 @@ func (c *Cache) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([]float64, 
 	}
 	stored := append([]float64(nil), scores...)
 	c.mu.Lock()
-	if c.maxEntries > 0 && len(c.entries) >= c.maxEntries {
-		for victim := range c.entries {
-			delete(c.entries, victim)
-			break
+	if el, ok := c.entries[k]; ok {
+		// A concurrent miss stored the (identical) result first.
+		c.recency.MoveToFront(el)
+	} else {
+		c.entries[k] = c.recency.PushFront(&entry{k: k, scores: stored})
+		for c.maxEntries > 0 && len(c.entries) > c.maxEntries {
+			oldest := c.recency.Back()
+			c.recency.Remove(oldest)
+			delete(c.entries, oldest.Value.(*entry).k)
 		}
 	}
-	c.entries[k] = stored
 	c.mu.Unlock()
 	return scores, nil
 }
@@ -110,8 +127,8 @@ func (s Stats) HitRate() float64 {
 
 // Stats returns the current counters.
 func (c *Cache) Stats() Stats {
-	c.mu.RLock()
+	c.mu.Lock()
 	entries := len(c.entries)
-	c.mu.RUnlock()
+	c.mu.Unlock()
 	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: entries}
 }

@@ -153,6 +153,44 @@ func TestCacheMaxEntries(t *testing.T) {
 	}
 }
 
+// TestCacheLRUEvictionOrder pins the eviction policy: at capacity the
+// least recently *used* entry goes, so an old entry refreshed by a hit
+// outlives a younger never-touched one.
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	space := testSpace()
+	inner := &fakeEvaluator{}
+	c := New(inner, 2)
+	r := rng.New(6)
+	a := space.NewConfig([]int{0, 0})
+	b := space.NewConfig([]int{1, 0})
+	d := space.NewConfig([]int{2, 0})
+
+	eval := func(cfg search.Config) {
+		t.Helper()
+		if _, err := c.Evaluate(cfg, 50, r.Split(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eval(a) // miss: {a}
+	eval(b) // miss: {a, b}
+	eval(a) // hit: refreshes a, so b is now least recently used
+	eval(d) // miss at capacity: evicts b, not a
+
+	callsBefore := inner.calls.Load()
+	eval(a) // must still be cached
+	eval(d) // must still be cached
+	if got := inner.calls.Load(); got != callsBefore {
+		t.Fatalf("refreshed/new entries were evicted: %d extra evaluations", got-callsBefore)
+	}
+	eval(b) // was evicted: recomputes
+	if got := inner.calls.Load(); got != callsBefore+1 {
+		t.Fatalf("LRU victim: want exactly b recomputed, got %d extra evaluations", got-callsBefore)
+	}
+	if s := c.Stats(); s.Entries != 2 {
+		t.Fatalf("entries %d, want 2", s.Entries)
+	}
+}
+
 // TestCacheConcurrent hammers one cache from many goroutines under -race:
 // all must observe identical scores for identical keys, and total
 // accounting must add up.

@@ -117,11 +117,43 @@ const (
 	StatusRunning Status = "running"
 	// StatusDone: finished successfully; result available.
 	StatusDone Status = "done"
-	// StatusFailed: aborted with an error.
+	// StatusFailed: aborted with an error (including an exhausted
+	// evaluation failure budget).
 	StatusFailed Status = "failed"
-	// StatusCancelled: stopped by DELETE /jobs/{id} or timeout.
+	// StatusCancelled: stopped before finishing; Reason says why.
 	StatusCancelled Status = "cancelled"
 )
+
+// Reason qualifies StatusCancelled: what stopped the job.
+type Reason string
+
+const (
+	// ReasonUserCancel: DELETE /jobs/{id}.
+	ReasonUserCancel Reason = "user_cancel"
+	// ReasonTimeout: the spec's TimeoutSec expired.
+	ReasonTimeout Reason = "timeout"
+	// ReasonShutdown: the daemon was draining or shutting down.
+	ReasonShutdown Reason = "shutdown"
+	// ReasonInterrupted: the job was mid-run when the daemon died; set
+	// during journal recovery.
+	ReasonInterrupted Reason = "interrupted"
+)
+
+// terminalStatus reports whether a status is final.
+func terminalStatus(s Status) bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// restoredState carries a journaled terminal outcome across a restart:
+// the live fields (trials, hpo.Result) cannot be rebuilt from disk, so a
+// recovered job serves snapshots from this instead.
+type restoredState struct {
+	curve       []trace.Point
+	bestConfig  map[string]any
+	bestScore   *float64
+	testScore   *float64
+	evaluations int
+}
 
 // Job is one tracked optimization run.
 type Job struct {
@@ -134,7 +166,10 @@ type Job struct {
 
 	mu        sync.Mutex
 	status    Status
+	reason    Reason
 	errMsg    string
+	stack     string
+	failures  int
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -142,6 +177,7 @@ type Job struct {
 	result    *hpo.Result
 	testScore float64
 	hasTest   bool
+	restored  *restoredState
 }
 
 // observe implements the hpo.Components trial observer; it is called
@@ -159,19 +195,56 @@ func (j *Job) Status() Status {
 	return j.status
 }
 
-// Cancel asks the job to stop after its in-flight evaluations. Safe to
-// call in any state; cancelling a finished job is a no-op.
+// Cancel asks the job to stop after its in-flight evaluations, recording
+// the user_cancel reason. Safe to call in any state; cancelling a
+// finished job is a no-op.
 func (j *Job) Cancel() {
-	j.cancel()
+	j.cancelWith(ReasonUserCancel)
+}
+
+// cancelWith records why the job is being stopped (first reason wins)
+// and fires the context cancellation. The cancel func is read under the
+// job lock because launch installs it after the job is visible in the
+// table; launch re-checks the reason so a cancel landing in that window
+// still takes effect.
+func (j *Job) cancelWith(reason Reason) {
+	j.mu.Lock()
+	if j.reason == "" && !terminalStatus(j.status) {
+		j.reason = reason
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	cancel()
+}
+
+// recordEvalFailure counts one definitive evaluation failure against the
+// job's failure budget, keeping the most recent stack for the job
+// record. It reports whether the failure is absorbed (budget not yet
+// exhausted) — if not, the caller surfaces the error and the job fails.
+func (j *Job) recordEvalFailure(stack string, budget int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.failures++
+	if stack != "" {
+		j.stack = stack
+	}
+	return j.failures <= budget
 }
 
 // Snapshot is a point-in-time JSON view of a job, served by GET
 // /jobs/{id}. Curve uses the trace package's shared serialization.
 type Snapshot struct {
-	ID          string         `json:"id"`
-	Status      Status         `json:"status"`
-	Spec        JobSpec        `json:"spec"`
-	Error       string         `json:"error,omitempty"`
+	ID     string  `json:"id"`
+	Status Status  `json:"status"`
+	Spec   JobSpec `json:"spec"`
+	// Reason qualifies a cancelled status: user_cancel, timeout,
+	// shutdown or interrupted.
+	Reason Reason `json:"reason,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Stack is the captured stack of the most recent evaluation panic,
+	// kept in the job record for post-mortems.
+	Stack       string         `json:"stack,omitempty"`
+	Failures    int            `json:"failures,omitempty"`
 	SubmittedAt time.Time      `json:"submitted_at"`
 	StartedAt   *time.Time     `json:"started_at,omitempty"`
 	FinishedAt  *time.Time     `json:"finished_at,omitempty"`
@@ -183,6 +256,15 @@ type Snapshot struct {
 	TestScore   *float64       `json:"test_score,omitempty"`
 }
 
+// FinishedAtOr returns the snapshot's finish time, or fallback when the
+// job has not finished.
+func (s Snapshot) FinishedAtOr(fallback time.Time) time.Time {
+	if s.FinishedAt != nil {
+		return *s.FinishedAt
+	}
+	return fallback
+}
+
 // Snapshot renders the job's current state, including the live anytime
 // curve of a run still in flight.
 func (j *Job) Snapshot() Snapshot {
@@ -192,7 +274,10 @@ func (j *Job) Snapshot() Snapshot {
 		ID:          j.ID,
 		Status:      j.status,
 		Spec:        j.Spec,
+		Reason:      j.reason,
 		Error:       j.errMsg,
+		Stack:       j.stack,
+		Failures:    j.failures,
 		SubmittedAt: j.submitted,
 		Evaluations: len(j.trials),
 		Curve:       trace.Anytime(j.trials),
@@ -205,7 +290,6 @@ func (j *Job) Snapshot() Snapshot {
 		t := j.finished
 		snap.FinishedAt = &t
 	}
-	snap.Sparkline = trace.Sparkline(snap.Curve, 40)
 	if j.result != nil {
 		if sp := j.result.Best.Space(); sp != nil {
 			cfg := map[string]any{}
@@ -221,5 +305,14 @@ func (j *Job) Snapshot() Snapshot {
 		ts := j.testScore
 		snap.TestScore = &ts
 	}
+	if j.restored != nil {
+		// Journal-recovered job: serve the persisted terminal view.
+		snap.Evaluations = j.restored.evaluations
+		snap.Curve = j.restored.curve
+		snap.BestConfig = j.restored.bestConfig
+		snap.BestScore = j.restored.bestScore
+		snap.TestScore = j.restored.testScore
+	}
+	snap.Sparkline = trace.Sparkline(snap.Curve, 40)
 	return snap
 }

@@ -1,0 +1,275 @@
+// Package journal gives bhpod crash-safe job persistence: an append-only
+// JSONL log per data directory recording job submissions, status
+// transitions and terminal results. The write path is sequenced so that a
+// crash at any instant loses at most the record being written: every
+// record is one JSON line, terminal records are fsynced before Append
+// returns, and Replay tolerates a torn final line (the signature of a
+// crash mid-write) by treating it as end-of-log.
+//
+// On startup the serve layer replays the log into per-job states,
+// reclassifies jobs that were mid-run when the process died, and rewrites
+// the log compacted — one submit record plus (for finished jobs) one
+// result record per job — via a temp file and an atomic rename, so the
+// journal does not grow across restarts and a crash during compaction
+// leaves the previous log intact.
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"enhancedbhpo/internal/trace"
+)
+
+// FileName is the journal file inside a data directory.
+const FileName = "journal.jsonl"
+
+// Record types.
+const (
+	// TypeSubmit records a job's acceptance: ID plus the defaulted spec.
+	TypeSubmit = "submit"
+	// TypeStatus records a non-terminal lifecycle transition (running).
+	TypeStatus = "status"
+	// TypeResult records a terminal state with everything needed to serve
+	// the job after a restart; it is fsynced.
+	TypeResult = "result"
+)
+
+// Record is one journal line. The spec travels as raw JSON so this
+// package stays independent of the serve layer's types; curves reuse the
+// trace package's bit-exact Point round-trip.
+type Record struct {
+	Type        string          `json:"t"`
+	Time        time.Time       `json:"time"`
+	JobID       string          `json:"job"`
+	Spec        json.RawMessage `json:"spec,omitempty"`
+	Status      string          `json:"status,omitempty"`
+	Reason      string          `json:"reason,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Stack       string          `json:"stack,omitempty"`
+	Evaluations int             `json:"evaluations,omitempty"`
+	Curve       []trace.Point   `json:"curve,omitempty"`
+	BestConfig  map[string]any  `json:"best_config,omitempty"`
+	BestScore   *float64        `json:"best_score,omitempty"`
+	TestScore   *float64        `json:"test_score,omitempty"`
+}
+
+// Writer appends records to a data directory's journal. Safe for
+// concurrent use.
+type Writer struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Open creates the data directory if needed and opens its journal for
+// appending.
+func Open(dir string) (*Writer, error) {
+	if dir == "" {
+		return nil, errors.New("journal: empty data dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, FileName), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Writer{f: f}, nil
+}
+
+// Append writes one record as a JSON line. Terminal (result) records are
+// fsynced before Append returns, so a finished job survives any later
+// crash; non-terminal records ride on the OS page cache — losing one
+// degrades a job from running to queued on replay, never corrupts it.
+func (w *Writer) Append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encoding record: %w", err)
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("journal: closed")
+	}
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("journal: appending: %w", err)
+	}
+	if rec.Type == TypeResult {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the journal. Idempotent.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	f := w.f
+	w.f = nil
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// JobState is the merged view of one job after replaying its records.
+// Status "" or "queued" means the job never started; "running" means the
+// process died mid-run; anything else is the journaled terminal state.
+type JobState struct {
+	ID          string
+	Spec        json.RawMessage
+	Status      string
+	Reason      string
+	Error       string
+	Stack       string
+	Evaluations int
+	Curve       []trace.Point
+	BestConfig  map[string]any
+	BestScore   *float64
+	TestScore   *float64
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+}
+
+// Terminal reports whether the state is a journaled terminal outcome.
+func (s JobState) Terminal() bool {
+	switch s.Status {
+	case "", "queued", "running":
+		return false
+	}
+	return true
+}
+
+// Replay reads a data directory's journal into per-job states in first
+// submission order. A missing journal yields no states; a torn final
+// line (crash mid-write) ends the replay cleanly at the last whole
+// record.
+func Replay(dir string) ([]JobState, error) {
+	f, err := os.Open(filepath.Join(dir, FileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+
+	byID := map[string]*JobState{}
+	var order []string
+	dec := json.NewDecoder(f)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			// io.EOF is a clean end; anything else is a torn tail from a
+			// crash mid-append — stop at the last whole record.
+			break
+		}
+		st, ok := byID[rec.JobID]
+		if !ok {
+			st = &JobState{ID: rec.JobID, Status: "queued"}
+			byID[rec.JobID] = st
+			order = append(order, rec.JobID)
+		}
+		switch rec.Type {
+		case TypeSubmit:
+			st.Spec = rec.Spec
+			st.SubmittedAt = rec.Time
+		case TypeStatus:
+			st.Status = rec.Status
+			if rec.Status == "running" {
+				st.StartedAt = rec.Time
+			}
+		case TypeResult:
+			st.Status = rec.Status
+			st.Reason = rec.Reason
+			st.Error = rec.Error
+			st.Stack = rec.Stack
+			st.Evaluations = rec.Evaluations
+			st.Curve = rec.Curve
+			st.BestConfig = rec.BestConfig
+			st.BestScore = rec.BestScore
+			st.TestScore = rec.TestScore
+			st.FinishedAt = rec.Time
+		}
+	}
+	out := make([]JobState, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out, nil
+}
+
+// Compact rewrites the journal to the minimal record set reproducing the
+// given states: a submit record per job, a running transition where one
+// was seen, and a result record for terminal jobs. The rewrite goes
+// through a temp file and an atomic rename, so a crash mid-compaction
+// leaves the previous journal untouched.
+func Compact(dir string, states []JobState) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	tmp := filepath.Join(dir, FileName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	write := func(rec Record) error { return enc.Encode(rec) }
+	for _, st := range states {
+		if err := write(Record{Type: TypeSubmit, Time: st.SubmittedAt, JobID: st.ID, Spec: st.Spec}); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: compacting: %w", err)
+		}
+		if !st.StartedAt.IsZero() {
+			if err := write(Record{Type: TypeStatus, Time: st.StartedAt, JobID: st.ID, Status: "running"}); err != nil {
+				f.Close()
+				return fmt.Errorf("journal: compacting: %w", err)
+			}
+		}
+		if st.Terminal() {
+			rec := Record{
+				Type:        TypeResult,
+				Time:        st.FinishedAt,
+				JobID:       st.ID,
+				Status:      st.Status,
+				Reason:      st.Reason,
+				Error:       st.Error,
+				Stack:       st.Stack,
+				Evaluations: st.Evaluations,
+				Curve:       st.Curve,
+				BestConfig:  st.BestConfig,
+				BestScore:   st.BestScore,
+				TestScore:   st.TestScore,
+			}
+			if err := write(rec); err != nil {
+				f.Close()
+				return fmt.Errorf("journal: compacting: %w", err)
+			}
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, FileName)); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}

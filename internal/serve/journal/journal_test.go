@@ -1,0 +1,212 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"enhancedbhpo/internal/trace"
+)
+
+func ptr(f float64) *float64 { return &f }
+
+func sampleCurve() []trace.Point {
+	return []trace.Point{
+		{Evaluations: 1, CumBudget: 100, CumTime: 12345 * time.Microsecond, BestScore: 0.71},
+		{Evaluations: 2, CumBudget: 250, CumTime: 34567 * time.Microsecond, BestScore: 0.83},
+	}
+}
+
+func TestReplayMergesRecords(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC)
+	spec := json.RawMessage(`{"dataset":"australian","method":"sha"}`)
+	records := []Record{
+		{Type: TypeSubmit, Time: t0, JobID: "job-1", Spec: spec},
+		{Type: TypeStatus, Time: t0.Add(time.Second), JobID: "job-1", Status: "running"},
+		{Type: TypeSubmit, Time: t0.Add(2 * time.Second), JobID: "job-2", Spec: spec},
+		{
+			Type: TypeResult, Time: t0.Add(3 * time.Second), JobID: "job-1",
+			Status: "done", Evaluations: 2, Curve: sampleCurve(),
+			BestConfig: map[string]any{"activation": "relu"},
+			BestScore:  ptr(0.83), TestScore: ptr(0.80),
+		},
+	}
+	for _, rec := range records {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	states, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 2 {
+		t.Fatalf("replayed %d states, want 2", len(states))
+	}
+	j1, j2 := states[0], states[1]
+	if j1.ID != "job-1" || j2.ID != "job-2" {
+		t.Fatalf("order: %s, %s", j1.ID, j2.ID)
+	}
+	if j1.Status != "done" || !j1.Terminal() {
+		t.Fatalf("job-1 status %q", j1.Status)
+	}
+	if j1.Evaluations != 2 || len(j1.Curve) != 2 {
+		t.Fatalf("job-1 curve: %d evals, %d points", j1.Evaluations, len(j1.Curve))
+	}
+	// Curves round-trip bit-for-bit through the trace JSON form.
+	for i, p := range sampleCurve() {
+		if j1.Curve[i] != p {
+			t.Fatalf("curve point %d: %+v != %+v", i, j1.Curve[i], p)
+		}
+	}
+	if j1.BestScore == nil || *j1.BestScore != 0.83 || j1.TestScore == nil || *j1.TestScore != 0.80 {
+		t.Fatalf("job-1 scores: %+v", j1)
+	}
+	if !j1.StartedAt.Equal(t0.Add(time.Second)) || !j1.FinishedAt.Equal(t0.Add(3*time.Second)) {
+		t.Fatalf("job-1 times: started %v finished %v", j1.StartedAt, j1.FinishedAt)
+	}
+	if j2.Status != "queued" || j2.Terminal() {
+		t.Fatalf("job-2 status %q", j2.Status)
+	}
+	if string(j2.Spec) != string(spec) {
+		t.Fatalf("job-2 spec %s", j2.Spec)
+	}
+}
+
+func TestReplayMissingJournal(t *testing.T) {
+	states, err := Replay(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 0 {
+		t.Fatalf("empty dir replayed %d states", len(states))
+	}
+}
+
+// TestReplayTornTail simulates a crash mid-append: the last line is
+// truncated, and replay must stop cleanly at the last whole record.
+func TestReplayTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := json.RawMessage(`{"dataset":"australian","method":"sha"}`)
+	if err := w.Append(Record{Type: TypeSubmit, Time: time.Now(), JobID: "job-1", Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"result","job":"job-1","sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	states, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || states[0].Status != "queued" {
+		t.Fatalf("torn tail replay: %+v", states)
+	}
+}
+
+// TestCompactRoundTrip verifies that compaction preserves the merged
+// states exactly and shrinks the log to the minimal record set.
+func TestCompactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC)
+	spec := json.RawMessage(`{"dataset":"australian","method":"asha"}`)
+	// Noisy history: repeated transitions that compaction should fold away.
+	for _, rec := range []Record{
+		{Type: TypeSubmit, Time: t0, JobID: "job-1", Spec: spec},
+		{Type: TypeStatus, Time: t0.Add(time.Second), JobID: "job-1", Status: "running"},
+		{Type: TypeResult, Time: t0.Add(2 * time.Second), JobID: "job-1", Status: "cancelled", Reason: "user_cancel", Curve: sampleCurve(), Evaluations: 2},
+		{Type: TypeSubmit, Time: t0.Add(3 * time.Second), JobID: "job-2", Spec: spec},
+		{Type: TypeStatus, Time: t0.Add(4 * time.Second), JobID: "job-2", Status: "running"},
+	} {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Compact(dir, before); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("compaction changed state count: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		b, a := before[i], after[i]
+		if a.ID != b.ID || a.Status != b.Status || a.Reason != b.Reason ||
+			a.Evaluations != b.Evaluations || len(a.Curve) != len(b.Curve) ||
+			!a.SubmittedAt.Equal(b.SubmittedAt) || !a.StartedAt.Equal(b.StartedAt) {
+			t.Fatalf("state %d changed:\nbefore %+v\nafter  %+v", i, b, a)
+		}
+	}
+	// Appending after compaction keeps working (the writer reopens).
+	w2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(Record{Type: TypeResult, Time: t0.Add(5 * time.Second), JobID: "job-2", Status: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	final, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final[1].Status != "done" {
+		t.Fatalf("post-compaction append lost: %+v", final[1])
+	}
+}
+
+func TestWriterClosedAppendFails(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Type: TypeSubmit, JobID: "job-1"}); err == nil {
+		t.Fatal("append on closed writer succeeded")
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,6 +14,8 @@ import (
 	"enhancedbhpo/internal/nn"
 	"enhancedbhpo/internal/rng"
 	"enhancedbhpo/internal/serve/evalcache"
+	"enhancedbhpo/internal/serve/journal"
+	"enhancedbhpo/internal/trace"
 )
 
 // Config tunes the Manager.
@@ -23,8 +26,28 @@ type Config struct {
 	// MaxJobs bounds concurrently running jobs; submissions beyond it
 	// wait in the queued state. 0 selects 4.
 	MaxJobs int
-	// CacheEntries caps each evaluation-cache scope. 0 selects 1<<16.
+	// CacheEntries caps each evaluation-cache scope (LRU). 0 selects 1<<16.
 	CacheEntries int
+	// DataDir, when non-empty, enables journaled persistence: job specs
+	// and terminal results are appended to DataDir/journal.jsonl so
+	// NewManagerFromJournal can rebuild the job table after a restart.
+	DataDir string
+	// EvalAttempts is the total tries per evaluation before it counts as
+	// a definitive failure (panics and errors alike; retries are spaced
+	// by a jittered RetryBackoff). 0 selects 2.
+	EvalAttempts int
+	// RetryBackoff is the base delay before an evaluation retry; the
+	// actual sleep is jittered in [backoff/2, backoff). 0 selects 50ms.
+	RetryBackoff time.Duration
+	// FailureBudget is how many definitive evaluation failures a job
+	// absorbs — each failed trial scores worst-case instead of aborting —
+	// before the job flips to StatusFailed. 0 selects 3.
+	FailureBudget int
+	// WrapEvaluator, when non-nil, wraps each job's evaluator between
+	// the pool gate and the cache. It is the fault-injection point used
+	// by the crash/restart tests and is applied per job as the job
+	// starts optimizing.
+	WrapEvaluator func(jobID string, inner hpo.Evaluator) hpo.Evaluator
 }
 
 func (c Config) withDefaults() Config {
@@ -36,6 +59,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 1 << 16
+	}
+	if c.EvalAttempts <= 0 {
+		c.EvalAttempts = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.FailureBudget <= 0 {
+		c.FailureBudget = 3
 	}
 	return c
 }
@@ -62,7 +94,11 @@ type Manager struct {
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 
-	evals atomic.Int64
+	evals         atomic.Int64
+	trialFailures atomic.Int64
+	journalErrs   atomic.Int64
+
+	journal *journal.Writer // nil when persistence is disabled
 
 	mu     sync.Mutex
 	seq    int
@@ -71,8 +107,9 @@ type Manager struct {
 	scopes map[string]*evalScope
 }
 
-// NewManager returns a ready manager; callers should Shutdown it to stop
-// running jobs.
+// NewManager returns a ready, non-persistent manager; callers should
+// Shutdown it to stop running jobs. For a journaled manager that
+// recovers its job table across restarts, use NewManagerFromJournal.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -88,20 +125,124 @@ func NewManager(cfg Config) *Manager {
 	}
 }
 
-// Submit validates the spec, registers a queued job and starts it in the
-// background.
+// NewManagerFromJournal opens (creating if needed) the journal in
+// cfg.DataDir, replays it, and returns a manager with the previous
+// process's job table rebuilt: terminal jobs are restored with their
+// results and anytime curves, jobs that were mid-run when the process
+// died are marked cancelled with reason "interrupted", and jobs that
+// were still queued are re-enqueued and run again. The journal is
+// compacted to one submit (plus one terminal) record per job before new
+// records are appended.
+func NewManagerFromJournal(cfg Config) (*Manager, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("serve: NewManagerFromJournal needs Config.DataDir")
+	}
+	states, err := journal.Replay(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	for i := range states {
+		if states[i].Status == string(StatusRunning) {
+			states[i].Status = string(StatusCancelled)
+			states[i].Reason = string(ReasonInterrupted)
+			states[i].FinishedAt = now
+		}
+	}
+	if err := journal.Compact(cfg.DataDir, states); err != nil {
+		return nil, err
+	}
+	m := NewManager(cfg)
+	w, err := journal.Open(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	m.journal = w
+	for _, st := range states {
+		var spec JobSpec
+		if len(st.Spec) > 0 {
+			if err := json.Unmarshal(st.Spec, &spec); err != nil {
+				return nil, fmt.Errorf("serve: replaying %s: %w", st.ID, err)
+			}
+		}
+		job := &Job{
+			ID:        st.ID,
+			Spec:      spec,
+			cancel:    func() {},
+			submitted: st.SubmittedAt,
+		}
+		m.register(job)
+		if !st.Terminal() {
+			// Queued when the process died: run it again under this
+			// manager (the compacted journal already holds its submit
+			// record, so launching appends only the new transitions).
+			job.status = StatusQueued
+			m.launch(job)
+			continue
+		}
+		curve := st.Curve
+		if curve == nil {
+			curve = []trace.Point{}
+		}
+		job.status = Status(st.Status)
+		job.reason = Reason(st.Reason)
+		job.errMsg = st.Error
+		job.stack = st.Stack
+		job.started = st.StartedAt
+		job.finished = st.FinishedAt
+		job.restored = &restoredState{
+			curve:       curve,
+			bestConfig:  st.BestConfig,
+			bestScore:   st.BestScore,
+			testScore:   st.TestScore,
+			evaluations: st.Evaluations,
+		}
+	}
+	return m, nil
+}
+
+// register inserts the job into the table, keeping seq ahead of every
+// known numeric ID suffix so replayed and fresh jobs never collide.
+func (m *Manager) register(job *Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int
+	if _, err := fmt.Sscanf(job.ID, "job-%d", &n); err == nil && n > m.seq {
+		m.seq = n
+	}
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+}
+
+// launch builds the job's context (with the spec timeout, restarted from
+// now for replayed jobs) and starts the runner goroutine.
+func (m *Manager) launch(job *Job) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	if job.Spec.TimeoutSec > 0 {
+		ctx, cancel = context.WithTimeout(m.baseCtx, time.Duration(job.Spec.TimeoutSec*float64(time.Second)))
+	}
+	job.mu.Lock()
+	job.cancel = cancel
+	preCancelled := job.reason != ""
+	job.mu.Unlock()
+	if preCancelled {
+		// A cancel raced in before the cancel func existed; honor it now.
+		cancel()
+	}
+	m.wg.Add(1)
+	go m.run(ctx, job, cancel)
+}
+
+// Submit validates the spec, registers a queued job, journals the
+// submission and starts the job in the background.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithCancel(m.baseCtx)
-	if spec.TimeoutSec > 0 {
-		ctx, cancel = context.WithTimeout(m.baseCtx, time.Duration(spec.TimeoutSec*float64(time.Second)))
-	}
 	job := &Job{
 		Spec:      spec,
-		cancel:    cancel,
+		cancel:    func() {},
 		status:    StatusQueued,
 		submitted: time.Now(),
 	}
@@ -111,8 +252,8 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	m.jobs[job.ID] = job
 	m.order = append(m.order, job.ID)
 	m.mu.Unlock()
-	m.wg.Add(1)
-	go m.run(ctx, job, cancel)
+	m.journalSubmit(job)
+	m.launch(job)
 	return job, nil
 }
 
@@ -135,10 +276,12 @@ func (m *Manager) Jobs() []*Job {
 	return out
 }
 
-// Shutdown cancels every job and waits for runners to exit or ctx to
-// expire.
-func (m *Manager) Shutdown(ctx context.Context) error {
-	m.baseCancel()
+// Drain waits for every job runner to finish naturally — nothing is
+// cancelled — or for ctx to expire. It is the first phase of a graceful
+// SIGTERM stop: admission is closed at the HTTP layer, in-flight work
+// runs to completion, and whatever outlives ctx is then cancelled by
+// Shutdown with reason "shutdown".
+func (m *Manager) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		m.wg.Wait()
@@ -149,6 +292,105 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// Shutdown cancels every remaining job (recording reason "shutdown"),
+// waits for runners to exit or ctx to expire, and closes the journal so
+// every terminal record is on disk.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		// Record the reason before the shared cancel fires so finish()
+		// can distinguish shutdown from a user cancel.
+		j.mu.Lock()
+		if j.reason == "" && !terminalStatus(j.status) {
+			j.reason = ReasonShutdown
+		}
+		j.mu.Unlock()
+	}
+	m.baseCancel()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if m.journal != nil {
+		if cerr := m.journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// journalSubmit, journalStatus and journalTerminal persist lifecycle
+// records when a journal is configured. Journaling is best-effort for
+// the live path: an append error is counted (journal_errors in the
+// metrics) rather than failing the job, since the in-memory table is
+// still authoritative until the next restart.
+func (m *Manager) journalSubmit(job *Job) {
+	if m.journal == nil {
+		return
+	}
+	spec, err := json.Marshal(job.Spec)
+	if err == nil {
+		err = m.journal.Append(journal.Record{
+			Type:  journal.TypeSubmit,
+			Time:  job.submitted,
+			JobID: job.ID,
+			Spec:  spec,
+		})
+	}
+	if err != nil {
+		m.journalErrs.Add(1)
+	}
+}
+
+func (m *Manager) journalStatus(job *Job, status Status, at time.Time) {
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal.Append(journal.Record{
+		Type:   journal.TypeStatus,
+		Time:   at,
+		JobID:  job.ID,
+		Status: string(status),
+	}); err != nil {
+		m.journalErrs.Add(1)
+	}
+}
+
+func (m *Manager) journalTerminal(job *Job) {
+	if m.journal == nil {
+		return
+	}
+	snap := job.Snapshot()
+	if err := m.journal.Append(journal.Record{
+		Type:        journal.TypeResult,
+		Time:        snap.FinishedAtOr(time.Now()),
+		JobID:       job.ID,
+		Status:      string(snap.Status),
+		Reason:      string(snap.Reason),
+		Error:       snap.Error,
+		Stack:       snap.Stack,
+		Evaluations: snap.Evaluations,
+		Curve:       snap.Curve,
+		BestConfig:  snap.BestConfig,
+		BestScore:   snap.BestScore,
+		TestScore:   snap.TestScore,
+	}); err != nil {
+		m.journalErrs.Add(1)
 	}
 }
 
@@ -222,6 +464,8 @@ type Metrics struct {
 	PoolInUse         int     `json:"pool_in_use"`
 	Evaluations       int64   `json:"evaluations"`
 	EvaluationsPerSec float64 `json:"evaluations_per_sec"`
+	TrialFailures     int64   `json:"trial_failures"`
+	JournalErrors     int64   `json:"journal_errors"`
 	CacheScopes       int     `json:"cache_scopes"`
 	CacheEntries      int     `json:"cache_entries"`
 	CacheHits         int64   `json:"cache_hits"`
@@ -233,10 +477,12 @@ type Metrics struct {
 func (m *Manager) Metrics() Metrics {
 	uptime := time.Since(m.started).Seconds()
 	out := Metrics{
-		UptimeSec:   uptime,
-		PoolSize:    m.pool.Size(),
-		PoolInUse:   m.pool.InUse(),
-		Evaluations: m.evals.Load(),
+		UptimeSec:     uptime,
+		PoolSize:      m.pool.Size(),
+		PoolInUse:     m.pool.InUse(),
+		Evaluations:   m.evals.Load(),
+		TrialFailures: m.trialFailures.Load(),
+		JournalErrors: m.journalErrs.Load(),
 	}
 	if uptime > 0 {
 		out.EvaluationsPerSec = float64(out.Evaluations) / uptime

@@ -8,7 +8,12 @@ package serve
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
 	"sync/atomic"
+	"time"
 
 	"enhancedbhpo/internal/hpo"
 	"enhancedbhpo/internal/rng"
@@ -57,14 +62,36 @@ func (p *Pool) Size() int { return cap(p.slots) }
 // InUse returns the number of slots currently held.
 func (p *Pool) InUse() int { return int(p.inUse.Load()) }
 
-// pooledEvaluator gates a job's evaluations through the shared pool and
-// counts them for the service metrics. It carries the job's context so a
-// cancelled job stops waiting for slots immediately.
+// panicError is an evaluation panic converted to an error by the
+// pooled evaluator's recover armor, with the goroutine stack captured at
+// the panic site.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("evaluation panicked: %v", e.value)
+}
+
+// pooledEvaluator gates a job's evaluations through the shared pool,
+// counts them for the service metrics, and isolates the daemon from
+// misbehaving evaluations: panics are recovered into errors, transient
+// failures are retried with a jittered backoff, and definitive failures
+// are charged against the job's failure budget — within budget the trial
+// scores worst-case and the run continues; past it the error surfaces
+// and only that job fails. It carries the job's context so a cancelled
+// job stops waiting for slots immediately.
 type pooledEvaluator struct {
-	inner  hpo.Evaluator
-	pool   *Pool
-	ctx    context.Context
-	onEval func()
+	inner         hpo.Evaluator
+	pool          *Pool
+	ctx           context.Context
+	onEval        func()
+	onFailure     func()
+	job           *Job
+	attempts      int
+	backoff       time.Duration
+	failureBudget int
 }
 
 func (e *pooledEvaluator) FullBudget() int { return e.inner.FullBudget() }
@@ -74,9 +101,74 @@ func (e *pooledEvaluator) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([
 		return nil, err
 	}
 	defer e.pool.Release()
-	scores, err := e.inner.Evaluate(cfg, budget, r)
-	if err == nil && e.onEval != nil {
-		e.onEval()
+	attempts := e.attempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	return scores, err
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := e.sleepBackoff(attempt); err != nil {
+				return nil, err
+			}
+		}
+		// Retrying with the same RNG is sound: evaluators derive their
+		// streams via Split, which never advances r.
+		scores, err := e.evalOnce(cfg, budget, r)
+		if err == nil {
+			if e.onEval != nil {
+				e.onEval()
+			}
+			return scores, nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	if e.onFailure != nil {
+		e.onFailure()
+	}
+	var stack string
+	var pe *panicError
+	if errors.As(lastErr, &pe) {
+		stack = string(pe.stack)
+	}
+	if e.job != nil && e.job.recordEvalFailure(stack, e.failureBudget) {
+		// Absorbed: this trial alone fails, scoring worst-case so the
+		// optimizer ranks the configuration last and moves on.
+		return []float64{0}, nil
+	}
+	return nil, fmt.Errorf("serve: evaluation failed after %d attempts: %w", attempts, lastErr)
+}
+
+// evalOnce runs one attempt with recover armor, turning a panicking
+// evaluation into an error instead of killing the daemon.
+func (e *pooledEvaluator) evalOnce(cfg search.Config, budget int, r *rng.RNG) (scores []float64, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &panicError{value: v, stack: debug.Stack()}
+		}
+	}()
+	return e.inner.Evaluate(cfg, budget, r)
+}
+
+// sleepBackoff waits the jittered, exponentially grown backoff for the
+// given retry attempt, aborting early when the job is cancelled.
+func (e *pooledEvaluator) sleepBackoff(attempt int) error {
+	d := e.backoff << (attempt - 1)
+	if d <= 0 {
+		return e.ctx.Err()
+	}
+	// Jitter into [d/2, d) so synchronized failures across workers do
+	// not retry in lockstep.
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-e.ctx.Done():
+		return e.ctx.Err()
+	}
 }

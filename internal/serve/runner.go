@@ -28,10 +28,12 @@ func (m *Manager) run(ctx context.Context, job *Job, cancel context.CancelFunc) 
 	}
 	defer func() { <-m.jobSlots }()
 
+	started := time.Now()
 	job.mu.Lock()
 	job.status = StatusRunning
-	job.started = time.Now()
+	job.started = started
 	job.mu.Unlock()
+	m.journalStatus(job, StatusRunning, started)
 
 	scope, err := m.scopeFor(job.Spec)
 	if err != nil {
@@ -50,11 +52,23 @@ func (m *Manager) optimize(ctx context.Context, job *Job, scope *evalScope) (*hp
 		return nil, err
 	}
 	comps := scope.comps.WithObserver(job.observe)
+	var inner hpo.Evaluator = scope.cache
+	if m.cfg.WrapEvaluator != nil {
+		// Fault-injection point: sits between the pool gate (with its
+		// recover/retry armor) and the cache, so injected panics and
+		// errors exercise the real isolation path.
+		inner = m.cfg.WrapEvaluator(job.ID, inner)
+	}
 	ev := &pooledEvaluator{
-		inner:  scope.cache,
-		pool:   m.pool,
-		ctx:    ctx,
-		onEval: func() { m.evals.Add(1) },
+		inner:         inner,
+		pool:          m.pool,
+		ctx:           ctx,
+		onEval:        func() { m.evals.Add(1) },
+		onFailure:     func() { m.trialFailures.Add(1) },
+		job:           job,
+		attempts:      m.cfg.EvalAttempts,
+		backoff:       m.cfg.RetryBackoff,
+		failureBudget: m.cfg.FailureBudget,
 	}
 	workers := spec.Workers
 	if workers <= 0 {
@@ -86,15 +100,17 @@ func (m *Manager) optimize(ctx context.Context, job *Job, scope *evalScope) (*hp
 	return nil, errors.New("serve: unsupported method")
 }
 
-// finish records the job's terminal state. A successful run is refitted on
-// the full training set and scored on the test split, matching the
-// paper's final step.
+// finish records the job's terminal state and journals it. A successful
+// run is refitted on the full training set and scored on the test split,
+// matching the paper's final step. Cancelled jobs keep the reason set at
+// the cancel source (user_cancel, shutdown) or derived here (timeout).
 func (m *Manager) finish(job *Job, scope *evalScope, res *hpo.Result, err error) {
 	status := StatusDone
 	var testScore float64
 	hasTest := false
+	timedOut := errors.Is(err, context.DeadlineExceeded)
 	switch {
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.Canceled), timedOut:
 		status = StatusCancelled
 		res = nil
 		err = nil
@@ -115,6 +131,18 @@ func (m *Manager) finish(job *Job, scope *evalScope, res *hpo.Result, err error)
 	}
 	job.mu.Lock()
 	job.status = status
+	switch {
+	case status != StatusCancelled:
+		// A speculative shutdown mark on a job that still finished (or
+		// failed) on its own does not apply.
+		job.reason = ""
+	case timedOut:
+		// The deadline fired before any explicit cancel: the context
+		// reports DeadlineExceeded only in that case.
+		job.reason = ReasonTimeout
+	case job.reason == "":
+		job.reason = ReasonShutdown
+	}
 	job.finished = time.Now()
 	if err != nil {
 		job.errMsg = err.Error()
@@ -123,4 +151,5 @@ func (m *Manager) finish(job *Job, scope *evalScope, res *hpo.Result, err error)
 	job.testScore = testScore
 	job.hasTest = hasTest
 	job.mu.Unlock()
+	m.journalTerminal(job)
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,12 +13,13 @@ import (
 //	POST   /jobs        submit a JobSpec, returns the queued job snapshot
 //	GET    /jobs        list all jobs (snapshots without curves)
 //	GET    /jobs/{id}   one job's status + live anytime curve
-//	DELETE /jobs/{id}   cancel a job
-//	GET    /healthz     liveness probe
+//	DELETE /jobs/{id}   cancel a job (idempotent on terminal jobs)
+//	GET    /healthz     liveness probe (reports draining)
 //	GET    /metrics     service counters (jobs, pool, cache, eval rate)
 type Server struct {
-	manager *Manager
-	mux     *http.ServeMux
+	manager  *Manager
+	mux      *http.ServeMux
+	draining atomic.Bool
 }
 
 // NewServer wires the HTTP routes around the manager.
@@ -35,6 +37,13 @@ func NewServer(m *Manager) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// SetDraining toggles drain mode: while draining, POST /jobs is refused
+// with 503 so in-flight work can finish and be journaled before the
+// daemon exits. Reads (status, metrics, health) keep working.
+func (s *Server) SetDraining(on bool) {
+	s.draining.Store(on)
 }
 
 // errorBody is the JSON error envelope.
@@ -55,6 +64,10 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+		return
+	}
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -75,9 +88,10 @@ func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
 	out := make([]Snapshot, 0, len(jobs))
 	for _, j := range jobs {
 		snap := j.Snapshot()
-		// Keep the listing light: curves are per-job payloads.
+		// Keep the listing light: curves and stacks are per-job payloads.
 		snap.Curve = nil
 		snap.Sparkline = ""
+		snap.Stack = ""
 		out = append(out, snap)
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -98,9 +112,10 @@ func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
-	switch job.Status() {
-	case StatusDone, StatusFailed, StatusCancelled:
-		writeError(w, http.StatusConflict, "job %s already %s", job.ID, job.Status())
+	// Idempotent on terminal jobs: a repeated DELETE (retried request,
+	// lost response) observes the settled state instead of a conflict.
+	if terminalStatus(job.Status()) {
+		writeJSON(w, http.StatusOK, job.Snapshot())
 		return
 	}
 	job.Cancel()
@@ -113,8 +128,12 @@ type healthBody struct {
 }
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, healthBody{
-		Status:    "ok",
+		Status:    status,
 		UptimeSec: time.Since(s.manager.started).Seconds(),
 	})
 }

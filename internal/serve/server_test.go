@@ -162,13 +162,20 @@ func TestServiceEndToEnd(t *testing.T) {
 	if len(mid.Curve) == 0 {
 		t.Fatal("running job serves no live anytime curve")
 	}
-	evalsAtCancel := mid.Evaluations
 	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+big.ID, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dresp, err := http.DefaultClient.Do(req)
 	if err != nil {
+		t.Fatal(err)
+	}
+	// The DELETE response snapshot is taken after the cancel fires, so
+	// its evaluation count is the baseline for "stops within one
+	// evaluation" — an earlier poll would be stale by however many
+	// evaluations completed while the DELETE was in flight.
+	var atCancel Snapshot
+	if err := json.NewDecoder(dresp.Body).Decode(&atCancel); err != nil {
 		t.Fatal(err)
 	}
 	dresp.Body.Close()
@@ -179,22 +186,36 @@ func TestServiceEndToEnd(t *testing.T) {
 	if stopped.Status != StatusCancelled {
 		t.Fatalf("cancelled job ended %s (error %q)", stopped.Status, stopped.Error)
 	}
+	if stopped.Reason != ReasonUserCancel {
+		t.Fatalf("cancelled job reason %q, want user_cancel", stopped.Reason)
+	}
 	// "Stops within one evaluation": only work already in flight on the
-	// shared pool may land after the cancel. Polling latency can add the
-	// odd dispatch, so allow one extra round of the pool.
-	if extra := stopped.Evaluations - evalsAtCancel; extra > 2*pool {
+	// shared pool may land after the cancel — at most one evaluation per
+	// pool slot.
+	if extra := stopped.Evaluations - atCancel.Evaluations; extra > pool {
 		t.Fatalf("%d evaluations finished after cancel (pool %d)", extra, pool)
 	}
+	if stopped.Evaluations < mid.Evaluations {
+		t.Fatalf("evaluations went backwards: %d -> %d", mid.Evaluations, stopped.Evaluations)
+	}
 
-	// Cancelling a finished job conflicts.
+	// Cancelling a finished job is idempotent: the settled state comes
+	// back with 200 instead of a conflict.
 	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+big.ID, nil)
 	dresp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
+	var settled Snapshot
+	if err := json.NewDecoder(dresp.Body).Decode(&settled); err != nil {
+		t.Fatal(err)
+	}
 	dresp.Body.Close()
-	if dresp.StatusCode != http.StatusConflict {
-		t.Fatalf("second DELETE: status %d, want 409", dresp.StatusCode)
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("second DELETE: status %d, want 200", dresp.StatusCode)
+	}
+	if settled.Status != StatusCancelled || settled.Reason != ReasonUserCancel {
+		t.Fatalf("second DELETE snapshot: status %s reason %q", settled.Status, settled.Reason)
 	}
 
 	// 3. Metrics add up.
