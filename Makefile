@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check crash fmt serve clean
+.PHONY: all build test race vet check crash bench bench-smoke fmt serve clean
+
+# The kernel/Fit benchmark family captured in BENCH_kernels.json.
+BENCH_PATTERN = BenchmarkMat|BenchmarkFit
 
 all: build
 
@@ -25,7 +28,16 @@ crash:
 	$(GO) test -race -count=1 ./internal/serve/journal/...
 	$(GO) test -race -count=1 -run 'TestRestartRecovery|TestPanicIsolation|TestTransientFailureRetried|TestFailureBudgetAbsorbsTrial|TestTimeoutReason|TestShutdownWithInFlightJobs|TestDrainRefusesSubmissions' ./internal/serve/
 
-check: vet race crash
+# Kernel + training-loop benchmarks, recorded as the perf baseline.
+# Writes BENCH_kernels.json (ns/op, B/op, allocs/op per benchmark).
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_kernels.json
+
+# One-iteration smoke run so the benchmarks can never rot; part of check.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . >/dev/null
+
+check: vet race crash bench-smoke
 
 fmt:
 	gofmt -l -w .

@@ -21,6 +21,7 @@ import (
 	"enhancedbhpo/internal/experiments"
 	"enhancedbhpo/internal/grouping"
 	"enhancedbhpo/internal/hpo"
+	"enhancedbhpo/internal/mat"
 	"enhancedbhpo/internal/nn"
 	"enhancedbhpo/internal/rng"
 	"enhancedbhpo/internal/scoring"
@@ -363,6 +364,147 @@ func BenchmarkSHA(b *testing.B) {
 		}
 		run(b, comps)
 	})
+}
+
+// --- Compute-kernel benchmarks (the BENCH_kernels.json baseline) ---
+//
+// Each kernel benchmark runs the retained naive reference and the tuned
+// blocked kernel on identical dense data at MLP-typical shapes, so the
+// recorded ns/op ratio is the kernel speedup itself. `make bench`
+// captures these (with -benchmem) into BENCH_kernels.json.
+
+// benchMat returns a rows×cols matrix of nonzero values: dense data is
+// the honest baseline because the naive kernels skip zero multiplicands.
+func benchMat(r *rng.RNG, rows, cols int) *mat.Dense {
+	m := mat.NewDense(rows, cols)
+	d := m.Data()
+	for i := range d {
+		d[i] = r.Norm() + 3 // shifted away from zero
+	}
+	return m
+}
+
+// matShapes are (batch × width × width) products as they occur inside
+// nn.Fit on the Table III search space.
+var matShapes = []struct {
+	name    string
+	m, k, n int
+}{
+	{"batch32_w50", 32, 50, 50},
+	{"batch128_w100", 128, 100, 100},
+	{"batch256_w200", 256, 200, 200},
+}
+
+// BenchmarkMatMul compares naive vs blocked dst = a*b (the forward-pass
+// product).
+func BenchmarkMatMul(b *testing.B) {
+	for _, sh := range matShapes {
+		r := rng.New(21)
+		a := benchMat(r, sh.m, sh.k)
+		bb := benchMat(r, sh.k, sh.n)
+		dst := mat.NewDense(sh.m, sh.n)
+		b.Run(sh.name+"/naive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mat.NaiveMul(dst, a, bb)
+			}
+		})
+		b.Run(sh.name+"/blocked", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mat.Mul(dst, a, bb)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulT compares naive vs blocked dst = a*bᵀ (the backprop
+// delta propagation).
+func BenchmarkMatMulT(b *testing.B) {
+	for _, sh := range matShapes {
+		r := rng.New(22)
+		a := benchMat(r, sh.m, sh.k)
+		bt := benchMat(r, sh.n, sh.k)
+		dst := mat.NewDense(sh.m, sh.n)
+		b.Run(sh.name+"/naive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mat.NaiveMulT(dst, a, bt)
+			}
+		})
+		b.Run(sh.name+"/blocked", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mat.MulT(dst, a, bt)
+			}
+		})
+	}
+}
+
+// BenchmarkMatTMul compares naive vs blocked dst = aᵀ*b (the weight
+// gradient).
+func BenchmarkMatTMul(b *testing.B) {
+	for _, sh := range matShapes {
+		r := rng.New(23)
+		at := benchMat(r, sh.k, sh.m)
+		bb := benchMat(r, sh.k, sh.n)
+		dst := mat.NewDense(sh.m, sh.n)
+		b.Run(sh.name+"/naive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mat.NaiveTMul(dst, at, bb)
+			}
+		})
+		b.Run(sh.name+"/blocked", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mat.TMul(dst, at, bb)
+			}
+		})
+	}
+}
+
+// fitBenchConfig is the MLP the end-to-end Fit benchmarks train: wide
+// enough (2×100 hidden) that the matmul kernels dominate, like the large
+// end of the Table III space. Logistic activation keeps the activations
+// dense — with ReLU roughly half the activations are exactly zero and
+// the naive kernels' skip branch hides part of the kernel cost, so the
+// measured ratio would understate the dense-path speedup.
+func fitBenchConfig(solver nn.Solver) nn.Config {
+	cfg := nn.DefaultConfig()
+	cfg.Solver = solver
+	cfg.HiddenLayerSizes = []int{100, 100}
+	cfg.Activation = nn.Logistic
+	cfg.BatchSize = 64
+	cfg.MaxIter = 10
+	cfg.LearningRateInit = 0.02
+	return cfg
+}
+
+// benchFit runs nn.Fit under the given kernel family.
+func benchFit(b *testing.B, train *dataset.Dataset, cfg nn.Config, kernel mat.KernelKind) {
+	b.Helper()
+	prev := mat.SetKernel(kernel)
+	defer mat.SetKernel(prev)
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if _, err := nn.Fit(train, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitStochastic measures a full adam fit with the naive kernels
+// vs the tuned blocked kernels — the end-to-end per-trial speedup every
+// bandit optimizer inherits.
+func BenchmarkFitStochastic(b *testing.B) {
+	train := benchData(b, 0.5)
+	cfg := fitBenchConfig(nn.Adam)
+	b.Run("naive", func(b *testing.B) { benchFit(b, train, cfg, mat.NaiveKernel) })
+	b.Run("tuned", func(b *testing.B) { benchFit(b, train, cfg, mat.Blocked) })
+}
+
+// BenchmarkFitLBFGS is the full-batch counterpart of
+// BenchmarkFitStochastic.
+func BenchmarkFitLBFGS(b *testing.B) {
+	train := benchData(b, 0.5)
+	cfg := fitBenchConfig(nn.LBFGS)
+	b.Run("naive", func(b *testing.B) { benchFit(b, train, cfg, mat.NaiveKernel) })
+	b.Run("tuned", func(b *testing.B) { benchFit(b, train, cfg, mat.Blocked) })
 }
 
 // BenchmarkBetaEval measures the Eq. 2 weight function itself.

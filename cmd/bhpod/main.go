@@ -15,6 +15,7 @@
 //	bhpod [-addr :8149] [-workers N] [-max-jobs 4] [-cache-entries 65536]
 //	      [-data-dir DIR] [-drain-timeout 30s]
 //	      [-eval-attempts 2] [-retry-backoff 50ms] [-failure-budget 3]
+//	      [-kernel-workers 0] [-pprof]
 //
 // Endpoints:
 //
@@ -24,6 +25,7 @@
 //	DELETE /jobs/{id}   cancel a job (idempotent on finished jobs)
 //	GET    /healthz     liveness probe ("draining" during shutdown)
 //	GET    /metrics     service counters
+//	GET    /debug/pprof/*  live profiling (only with -pprof)
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: new submissions are
 // refused with 503, in-flight evaluations get -drain-timeout to finish,
@@ -39,6 +41,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -59,6 +62,8 @@ func main() {
 		attempts = flag.Int("eval-attempts", 2, "total tries per evaluation before it counts as a failure")
 		backoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "base (jittered) delay between evaluation retries")
 		failures = flag.Int("failure-budget", 3, "evaluation failures a job absorbs before it is failed")
+		kernelW  = flag.Int("kernel-workers", 0, "matmul goroutines per pooled evaluation (0 = NumCPU/workers, so the pool never oversubscribes)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
 	)
 	flag.Parse()
 	cfg := serve.Config{
@@ -69,14 +74,15 @@ func main() {
 		EvalAttempts:  *attempts,
 		RetryBackoff:  *backoff,
 		FailureBudget: *failures,
+		KernelWorkers: *kernelW,
 	}
-	if err := run(*addr, cfg, *drainTmo); err != nil {
+	if err := run(*addr, cfg, *drainTmo, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "bhpod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
+func run(addr string, cfg serve.Config, drainTimeout time.Duration, pprofOn bool) error {
 	var manager *serve.Manager
 	var err error
 	if cfg.DataDir != "" {
@@ -89,9 +95,24 @@ func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
 		manager = serve.NewManager(cfg)
 	}
 	handler := serve.NewServer(manager)
+	// The service handler stays addressable (SetDraining below), so the
+	// optional pprof endpoints go on a wrapper mux that falls through to
+	// it for everything else.
+	var root http.Handler = handler
+	if pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		root = mux
+		log.Printf("bhpod: pprof mounted at /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:    addr,
-		Handler: handler,
+		Handler: root,
 	}
 
 	errc := make(chan error, 1)

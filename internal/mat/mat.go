@@ -153,9 +153,8 @@ func mustSameShape(a, b *Dense) {
 	}
 }
 
-// Mul computes dst = a*b. dst must be a.rows×b.cols and distinct from a and b.
-// It panics on shape mismatch.
-func Mul(dst, a, b *Dense) {
+// checkMul validates the operand shapes of dst = a*b.
+func checkMul(dst, a, b *Dense) {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: mul inner mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
@@ -165,25 +164,10 @@ func Mul(dst, a, b *Dense) {
 	if dst == a || dst == b {
 		panic("mat: mul destination aliases an operand")
 	}
-	dst.Zero()
-	// ikj loop order keeps the inner loop streaming over contiguous rows.
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
 }
 
-// MulT computes dst = a * bᵀ. dst must be a.rows×b.rows.
-func MulT(dst, a, b *Dense) {
+// checkMulT validates the operand shapes of dst = a * bᵀ.
+func checkMulT(dst, a, b *Dense) {
 	if a.cols != b.cols {
 		panic(fmt.Sprintf("mat: mulT inner mismatch %dx%d * (%dx%d)ᵀ", a.rows, a.cols, b.rows, b.cols))
 	}
@@ -193,17 +177,10 @@ func MulT(dst, a, b *Dense) {
 	if dst == a || dst == b {
 		panic("mat: mulT destination aliases an operand")
 	}
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := 0; j < b.rows; j++ {
-			drow[j] = Dot(arow, b.Row(j))
-		}
-	}
 }
 
-// TMul computes dst = aᵀ * b. dst must be a.cols×b.cols.
-func TMul(dst, a, b *Dense) {
+// checkTMul validates the operand shapes of dst = aᵀ * b.
+func checkTMul(dst, a, b *Dense) {
 	if a.rows != b.rows {
 		panic(fmt.Sprintf("mat: tmul inner mismatch (%dx%d)ᵀ * %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
@@ -213,30 +190,18 @@ func TMul(dst, a, b *Dense) {
 	if dst == a || dst == b {
 		panic("mat: tmul destination aliases an operand")
 	}
-	dst.Zero()
-	for k := 0; k < a.rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			drow := dst.Row(i)
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
 }
 
-// Dot returns the inner product of equal-length vectors a and b.
+// Dot returns the inner product of equal-length vectors a and b. The
+// float64 conversion forces per-step rounding so implementations that
+// fuse multiply-add cannot change the result across platforms.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("mat: dot length mismatch %d vs %d", len(a), len(b)))
 	}
 	var s float64
 	for i, v := range a {
-		s += v * b[i]
+		s += float64(v * b[i])
 	}
 	return s
 }
@@ -296,11 +261,24 @@ func AddRowVector(m *Dense, v []float64) {
 // ColSums returns the per-column sums of m.
 func ColSums(m *Dense) []float64 {
 	out := make([]float64, m.cols)
+	ColSumsInto(out, m)
+	return out
+}
+
+// ColSumsInto writes the per-column sums of m into out, which must have
+// length m.cols. It is the allocation-free form of ColSums used by the
+// training loop's scratch path.
+func ColSumsInto(out []float64, m *Dense) {
+	if len(out) != m.cols {
+		panic(fmt.Sprintf("mat: col sums dst length %d != cols %d", len(out), m.cols))
+	}
+	for j := range out {
+		out[j] = 0
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
 			out[j] += v
 		}
 	}
-	return out
 }

@@ -1,0 +1,47 @@
+package nn
+
+import (
+	"testing"
+
+	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/mat"
+	"enhancedbhpo/internal/rng"
+)
+
+// TestFitEpochZeroAlloc pins the zero-allocation contract of the
+// stochastic training loop: after the first epoch has warmed the scratch
+// arena (minibatch buffers, gradient vector, per-row-count
+// forward/backward matrices), steady-state epochs allocate nothing — for
+// both the full-batch and the n%batch tail path, under both solvers.
+func TestFitEpochZeroAlloc(t *testing.T) {
+	for _, solver := range []Solver{SGD, Adam} {
+		t.Run(solver.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Solver = solver
+			cfg.BatchSize = 8
+			cfg.LearningRate = InvScaling // exercises the schedule math too
+			cfg.KernelWorkers = 1
+			r := rng.New(42)
+			const n, features, classes = 37, 6, 3 // 37%8 != 0 → tail batch every epoch
+			nw := newNetwork(features, []int{10}, classes, ReLU, true, r.Split(1))
+			nw.workers = cfg.KernelWorkers
+			m := &Model{cfg: cfg, nw: nw, kind: dataset.Classification, numClasses: classes}
+
+			x := mat.NewDense(n, features)
+			xd := x.Data()
+			for i := range xd {
+				xd[i] = r.Norm()
+			}
+			target := mat.NewDense(n, classes)
+			for i := 0; i < n; i++ {
+				target.Set(i, int(r.Uint64()%classes), 1)
+			}
+
+			st := m.newSGDState(x, target, r.Split(2))
+			st.runEpoch() // warm-up: builds full-batch and tail scratch
+			if allocs := testing.AllocsPerRun(5, func() { st.runEpoch() }); allocs != 0 {
+				t.Errorf("steady-state epoch allocated %v objects, want 0", allocs)
+			}
+		})
+	}
+}

@@ -174,6 +174,12 @@ type Config struct {
 	PowerT float64
 	// Seed drives weight init and batch shuffling.
 	Seed uint64
+	// KernelWorkers caps the goroutines a single training run's matmul
+	// kernels may use (0 = the mat package default, GOMAXPROCS). Callers
+	// running many fits concurrently — e.g. the serve eval pool — set it
+	// so pool workers × kernel workers does not oversubscribe the
+	// machine. Results are bitwise-identical for any value.
+	KernelWorkers int
 }
 
 // DefaultConfig returns a configuration with scikit-learn-like defaults
@@ -226,6 +232,9 @@ func (c Config) Validate() error {
 	}
 	if c.NIterNoChange <= 0 {
 		return fmt.Errorf("nn: n_iter_no_change %d <= 0", c.NIterNoChange)
+	}
+	if c.KernelWorkers < 0 {
+		return fmt.Errorf("nn: kernel workers %d < 0", c.KernelWorkers)
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ func (m *Model) fitLBFGS(x, target *mat.Dense) {
 	p := len(m.nw.params)
 	grad := make([]float64, p)
 	loss := m.nw.lossGrad(x, target, cfg.Alpha, grad)
+	m.LossCurve = make([]float64, 0, cfg.MaxIter+1)
 	m.LossCurve = append(m.LossCurve, loss)
 
 	var sList, yList [][]float64
@@ -27,6 +28,18 @@ func (m *Model) fitLBFGS(x, target *mat.Dense) {
 	trial := make([]float64, p)
 	newGrad := make([]float64, p)
 	alphaBuf := make([]float64, history)
+	// freelist recycles curvature-pair buffers evicted from the history
+	// window (or rejected by the sᵀy check), capping total allocation at
+	// history+1 pairs no matter how many iterations run.
+	var freelist [][]float64
+	newPair := func() []float64 {
+		if k := len(freelist); k > 0 {
+			b := freelist[k-1]
+			freelist = freelist[:k-1]
+			return b
+		}
+		return make([]float64, p)
+	}
 
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		gnorm := mat.Norm2(grad)
@@ -57,6 +70,7 @@ func (m *Model) fitLBFGS(x, target *mat.Dense) {
 		if descent >= 0 {
 			// Not a descent direction (numerical breakdown); restart with
 			// steepest descent.
+			freelist = append(append(freelist, sList...), yList...)
 			sList, yList, rhoList = nil, nil, nil
 			copy(dir, grad)
 			mat.Scale(-1, dir)
@@ -84,8 +98,8 @@ func (m *Model) fitLBFGS(x, target *mat.Dense) {
 			break
 		}
 		// Curvature pair update.
-		s := make([]float64, p)
-		y := make([]float64, p)
+		s := newPair()
+		y := newPair()
 		for i := range s {
 			s[i] = step * dir[i]
 			y[i] = newGrad[i] - grad[i]
@@ -96,10 +110,13 @@ func (m *Model) fitLBFGS(x, target *mat.Dense) {
 			yList = append(yList, y)
 			rhoList = append(rhoList, 1/sy)
 			if len(sList) > history {
+				freelist = append(freelist, sList[0], yList[0])
 				sList = sList[1:]
 				yList = yList[1:]
 				rhoList = rhoList[1:]
 			}
+		} else {
+			freelist = append(freelist, s, y)
 		}
 		if math.Abs(loss-newLoss) < cfg.Tol*math.Max(1, math.Abs(loss)) {
 			loss = newLoss

@@ -22,6 +22,19 @@ type network struct {
 	// softmaxOut selects a softmax head (classification) vs identity
 	// (regression).
 	softmaxOut bool
+
+	// workers caps kernel parallelism for this network's matmuls
+	// (0 = the mat package default). Results are bitwise-identical for
+	// any setting; it only bounds CPU use per evaluation.
+	workers int
+	// Reused buffers (lazily built — Load constructs networks without
+	// newNetwork): weight views, weight-gradient buffers, and per-row-
+	// count forward/backward scratch. Their presence makes forwardPass
+	// and lossGrad allocation-free in steady state, but also means a
+	// network must not be used from multiple goroutines concurrently.
+	wMats   []*mat.Dense
+	gwBufs  []*mat.Dense
+	scratch map[int]*batchScratch
 }
 
 func newNetwork(inputs int, hidden []int, outputs int, act Activation, softmax bool, r *rng.RNG) *network {
@@ -82,26 +95,23 @@ func (nw *network) biases(l int) []float64 {
 	return nw.params[nw.bOff[l] : nw.bOff[l]+nw.dims[l+1]]
 }
 
-func (nw *network) weightMat(l int) *mat.Dense {
-	return mat.NewDenseData(nw.dims[l], nw.dims[l+1], nw.weights(l))
-}
-
 // forwardPass computes activations for a batch. Returns the per-layer
 // post-activation matrices (acts[0] is the input), so backprop can reuse
-// them.
+// them. The returned slice is scratch owned by the network: it is valid
+// until the next forwardPass with the same row count.
 func (nw *network) forwardPass(x *mat.Dense) []*mat.Dense {
-	acts := make([]*mat.Dense, nw.layers()+1)
+	s := nw.scratchFor(x.Rows())
+	acts := s.acts
 	acts[0] = x
 	for l := 0; l < nw.layers(); l++ {
-		z := mat.NewDense(x.Rows(), nw.dims[l+1])
-		mat.Mul(z, acts[l], nw.weightMat(l))
+		z := acts[l+1]
+		mat.MulWorkers(z, acts[l], nw.weightMat(l), nw.workers)
 		mat.AddRowVector(z, nw.biases(l))
 		if l < nw.layers()-1 {
 			applyActivation(z, nw.activation)
 		} else if nw.softmaxOut {
 			softmaxRows(z)
 		}
-		acts[l+1] = z
 	}
 	return acts
 }
@@ -112,12 +122,14 @@ func (nw *network) forwardPass(x *mat.Dense) []*mat.Dense {
 // grad must have len(nw.params); it is overwritten.
 func (nw *network) lossGrad(x, target *mat.Dense, alpha float64, grad []float64) float64 {
 	n := x.Rows()
+	s := nw.scratchFor(n)
 	acts := nw.forwardPass(x)
 	out := acts[len(acts)-1]
 	var loss float64
 	// delta starts as dL/dz of the output layer; for both softmax+CE and
 	// identity+MSE that is (out - target)/n.
-	delta := out.Clone()
+	delta := s.deltas[nw.layers()]
+	copy(delta.Data(), out.Data())
 	if nw.softmaxOut {
 		loss = crossEntropy(out, target)
 	} else {
@@ -126,27 +138,27 @@ func (nw *network) lossGrad(x, target *mat.Dense, alpha float64, grad []float64)
 	delta.Sub(target)
 	delta.Scale(1 / float64(n))
 
-	for i := range grad {
-		grad[i] = 0
-	}
+	// Every element of grad is overwritten below (weights via the gw copy,
+	// biases via ColSumsInto), so no upfront zeroing is needed.
 	for l := nw.layers() - 1; l >= 0; l-- {
-		// Weight gradient: actsᵀ[l] * delta  (+ L2 term).
-		gw := mat.NewDenseData(nw.dims[l], nw.dims[l+1], grad[nw.wOff[l]:nw.wOff[l]+nw.dims[l]*nw.dims[l+1]])
-		mat.TMul(gw, acts[l], delta)
+		// Weight gradient: actsᵀ[l] * delta  (+ L2 term folded into the
+		// copy out of the scratch buffer).
+		gw := nw.gwBuf(l)
+		mat.TMulWorkers(gw, acts[l], delta, nw.workers)
 		w := nw.weights(l)
 		gwData := gw.Data()
+		gSlice := grad[nw.wOff[l] : nw.wOff[l]+len(w)]
 		for i, wv := range w {
-			gwData[i] += alpha * wv / float64(n)
+			gSlice[i] = gwData[i] + alpha*wv/float64(n)
 		}
 		// Bias gradient: column sums of delta.
-		gb := grad[nw.bOff[l] : nw.bOff[l]+nw.dims[l+1]]
-		copy(gb, mat.ColSums(delta))
+		mat.ColSumsInto(grad[nw.bOff[l]:nw.bOff[l]+nw.dims[l+1]], delta)
 		if l == 0 {
 			break
 		}
 		// Propagate: delta_prev = (delta * Wᵀ) ⊙ act'(acts[l]).
-		prev := mat.NewDense(n, nw.dims[l])
-		mat.MulT(prev, delta, nw.weightMat(l))
+		prev := s.deltas[l]
+		mat.MulTWorkers(prev, delta, nw.weightMat(l), nw.workers)
 		applyActivationDeriv(prev, acts[l], nw.activation)
 		delta = prev
 	}

@@ -44,6 +44,7 @@ func Fit(train *dataset.Dataset, cfg Config) (*Model, error) {
 		outputs = 1
 	}
 	nw := newNetwork(train.Features(), cfg.HiddenLayerSizes, outputs, cfg.Activation, softmax, r.Split(1))
+	nw.workers = cfg.KernelWorkers
 	m := &Model{cfg: cfg, nw: nw, kind: train.Kind, numClasses: train.NumClasses}
 
 	fitSet := train
@@ -109,9 +110,30 @@ func targetMatrix(d *dataset.Dataset) *mat.Dense {
 	return t
 }
 
-// fitStochastic runs the sgd/adam epoch loop with mini-batches, learning
-// rate schedules, early stopping and the no-improvement convergence check.
-func (m *Model) fitStochastic(x, target *mat.Dense, valSet *dataset.Dataset, r *rng.RNG) {
+// sgdState holds every buffer the stochastic solvers need so the epoch
+// loop allocates nothing in steady state (pinned by the AllocsPerRun
+// regression test). The minibatch buffers come in two sizes — the full
+// batch and the n%batch tail — both preallocated up front.
+type sgdState struct {
+	m         *Model
+	x, target *mat.Dense
+	n, batch  int
+	r         *rng.RNG
+
+	grad                   []float64
+	velocity, adamM, adamV []float64
+	lr                     float64
+	// step is the global minibatch counter driving the invscaling
+	// schedule (equals epoch*batchesPerEpoch + batchInEpoch, 1-based).
+	step  int
+	adamT int
+
+	order          []int
+	bx, bt         *mat.Dense // full-size minibatch buffers
+	tailBx, tailBt *mat.Dense // n%batch remainder buffers (nil when none)
+}
+
+func (m *Model) newSGDState(x, target *mat.Dense, r *rng.RNG) *sgdState {
 	cfg := m.cfg
 	n := x.Rows()
 	batch := cfg.BatchSize
@@ -119,82 +141,109 @@ func (m *Model) fitStochastic(x, target *mat.Dense, valSet *dataset.Dataset, r *
 		batch = n
 	}
 	p := len(m.nw.params)
-	grad := make([]float64, p)
-	var velocity, adamM, adamV []float64
-	if cfg.Solver == SGD {
-		velocity = make([]float64, p)
-	} else {
-		adamM = make([]float64, p)
-		adamV = make([]float64, p)
+	st := &sgdState{
+		m: m, x: x, target: target, n: n, batch: batch, r: r,
+		grad: make([]float64, p),
+		lr:   cfg.LearningRateInit,
+		bx:   mat.NewDense(batch, x.Cols()),
+		bt:   mat.NewDense(batch, target.Cols()),
 	}
-	lr := cfg.LearningRateInit
+	if cfg.Solver == SGD {
+		st.velocity = make([]float64, p)
+	} else {
+		st.adamM = make([]float64, p)
+		st.adamV = make([]float64, p)
+	}
+	if rem := n % batch; rem != 0 {
+		st.tailBx = mat.NewDense(rem, x.Cols())
+		st.tailBt = mat.NewDense(rem, target.Cols())
+	}
+	st.order = make([]int, n)
+	for i := range st.order {
+		st.order[i] = i
+	}
+	return st
+}
+
+// runEpoch shuffles, sweeps the minibatches and applies the solver
+// update, returning the mean minibatch loss. Steady-state calls are
+// allocation-free: minibatch buffers, the gradient vector and the
+// network's forward/backward scratch are all reused.
+func (st *sgdState) runEpoch() float64 {
+	m, cfg := st.m, st.m.cfg
+	n, batch := st.n, st.batch
+	grad := st.grad
+	st.r.Shuffle(st.order)
+	var epochLoss float64
+	var batches int
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		size := end - start
+		cbx, cbt := st.bx, st.bt
+		if size != batch {
+			cbx, cbt = st.tailBx, st.tailBt
+		}
+		for bi := 0; bi < size; bi++ {
+			src := st.order[start+bi]
+			copy(cbx.Row(bi), st.x.Row(src))
+			copy(cbt.Row(bi), st.target.Row(src))
+		}
+		loss := m.nw.lossGrad(cbx, cbt, cfg.Alpha, grad)
+		epochLoss += loss
+		batches++
+		st.step++
+		switch cfg.Solver {
+		case SGD:
+			effLR := st.lr
+			if cfg.LearningRate == InvScaling {
+				effLR = cfg.LearningRateInit / math.Pow(float64(st.step), cfg.PowerT)
+			}
+			if cfg.Nesterov {
+				// Nesterov look-ahead in the standard reformulation
+				// (sklearn's): v ← μ·v − lr·∇; params += μ·v − lr·∇.
+				velocity := st.velocity
+				for i := range velocity {
+					velocity[i] = cfg.Momentum*velocity[i] - effLR*grad[i]
+					m.nw.params[i] += cfg.Momentum*velocity[i] - effLR*grad[i]
+				}
+			} else {
+				velocity := st.velocity
+				for i := range velocity {
+					velocity[i] = cfg.Momentum*velocity[i] - effLR*grad[i]
+					m.nw.params[i] += velocity[i]
+				}
+			}
+		case Adam:
+			st.adamT++
+			const beta1, beta2, eps = 0.9, 0.999, 1e-8
+			b1c := 1 - math.Pow(beta1, float64(st.adamT))
+			b2c := 1 - math.Pow(beta2, float64(st.adamT))
+			adamM, adamV := st.adamM, st.adamV
+			for i := range adamM {
+				adamM[i] = beta1*adamM[i] + (1-beta1)*grad[i]
+				adamV[i] = beta2*adamV[i] + (1-beta2)*grad[i]*grad[i]
+				m.nw.params[i] -= st.lr * (adamM[i] / b1c) / (math.Sqrt(adamV[i]/b2c) + eps)
+			}
+		}
+	}
+	return epochLoss / float64(batches)
+}
+
+// fitStochastic runs the sgd/adam epoch loop with mini-batches, learning
+// rate schedules, early stopping and the no-improvement convergence check.
+func (m *Model) fitStochastic(x, target *mat.Dense, valSet *dataset.Dataset, r *rng.RNG) {
+	cfg := m.cfg
+	st := m.newSGDState(x, target, r)
 	bestLoss := math.Inf(1)
 	bestVal := math.Inf(-1)
 	noImprove := 0
 	adaptiveStall := 0
-	var adamT int
-	bx := mat.NewDense(batch, x.Cols())
-	bt := mat.NewDense(batch, target.Cols())
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
+	m.LossCurve = make([]float64, 0, cfg.MaxIter)
 	for epoch := 0; epoch < cfg.MaxIter; epoch++ {
-		r.Shuffle(order)
-		var epochLoss float64
-		var batches int
-		for start := 0; start < n; start += batch {
-			end := start + batch
-			if end > n {
-				end = n
-			}
-			size := end - start
-			cbx, cbt := bx, bt
-			if size != batch {
-				cbx = mat.NewDense(size, x.Cols())
-				cbt = mat.NewDense(size, target.Cols())
-			}
-			for bi := 0; bi < size; bi++ {
-				src := order[start+bi]
-				copy(cbx.Row(bi), x.Row(src))
-				copy(cbt.Row(bi), target.Row(src))
-			}
-			loss := m.nw.lossGrad(cbx, cbt, cfg.Alpha, grad)
-			epochLoss += loss
-			batches++
-			switch cfg.Solver {
-			case SGD:
-				effLR := lr
-				if cfg.LearningRate == InvScaling {
-					t := float64(epoch*((n+batch-1)/batch) + batches)
-					effLR = cfg.LearningRateInit / math.Pow(t, cfg.PowerT)
-				}
-				if cfg.Nesterov {
-					// Nesterov look-ahead in the standard reformulation
-					// (sklearn's): v ← μ·v − lr·∇; params += μ·v − lr·∇.
-					for i := range velocity {
-						velocity[i] = cfg.Momentum*velocity[i] - effLR*grad[i]
-						m.nw.params[i] += cfg.Momentum*velocity[i] - effLR*grad[i]
-					}
-				} else {
-					for i := range velocity {
-						velocity[i] = cfg.Momentum*velocity[i] - effLR*grad[i]
-						m.nw.params[i] += velocity[i]
-					}
-				}
-			case Adam:
-				adamT++
-				const beta1, beta2, eps = 0.9, 0.999, 1e-8
-				b1c := 1 - math.Pow(beta1, float64(adamT))
-				b2c := 1 - math.Pow(beta2, float64(adamT))
-				for i := range adamM {
-					adamM[i] = beta1*adamM[i] + (1-beta1)*grad[i]
-					adamV[i] = beta2*adamV[i] + (1-beta2)*grad[i]*grad[i]
-					m.nw.params[i] -= lr * (adamM[i] / b1c) / (math.Sqrt(adamV[i]/b2c) + eps)
-				}
-			}
-		}
-		epochLoss /= float64(batches)
+		epochLoss := st.runEpoch()
 		m.LossCurve = append(m.LossCurve, epochLoss)
 		m.Epochs = epoch + 1
 
@@ -223,9 +272,9 @@ func (m *Model) fitStochastic(x, target *mat.Dense, valSet *dataset.Dataset, r *
 				adaptiveStall = 0
 			}
 			if adaptiveStall >= 2 {
-				lr /= 5
+				st.lr /= 5
 				adaptiveStall = 0
-				if lr < 1e-6 {
+				if st.lr < 1e-6 {
 					break
 				}
 			}

@@ -40,11 +40,12 @@ type entry struct {
 // Cache wraps an Evaluator with a concurrency-safe LRU memo table.
 type Cache struct {
 	inner hpo.Evaluator
-	// maxEntries bounds the table (0 = unbounded). When full, the least
-	// recently used entry is evicted: re-runs and larger-budget
-	// follow-ups revisit the keys they just touched, so recency tracks
+	// maxEntries bounds the table (0 = unbounded). When full, eviction is
+	// cost-aware LRU: among the evictWindow least-recently-used entries
+	// the lowest-budget one goes first (see evictOne). Recency tracks
 	// which entries the active jobs still need while long-cold entries
-	// from finished scopes age out.
+	// from finished scopes age out; budget-weighting keeps expensive
+	// full-budget results alive ahead of cheap low-rung ones.
 	maxEntries int
 
 	mu      sync.Mutex
@@ -100,13 +101,37 @@ func (c *Cache) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([]float64, 
 	} else {
 		c.entries[k] = c.recency.PushFront(&entry{k: k, scores: stored})
 		for c.maxEntries > 0 && len(c.entries) > c.maxEntries {
-			oldest := c.recency.Back()
-			c.recency.Remove(oldest)
-			delete(c.entries, oldest.Value.(*entry).k)
+			c.evictOne()
 		}
 	}
 	c.mu.Unlock()
 	return scores, nil
+}
+
+// evictWindow is how many of the least-recently-used entries evictOne
+// considers when choosing a victim. A small window keeps eviction O(1)
+// amortized while still letting recorded cost matter near the cold end.
+const evictWindow = 8
+
+// evictOne removes one entry, weighting LRU victims by recorded budget:
+// among the evictWindow least-recently-used entries it evicts the one
+// with the lowest budget (ties go to the least recently used), because a
+// low-budget entry is cheap to recompute while a full-budget entry
+// represents the bulk of a job's spent wall-clock. The most recently
+// used entry is never considered. Callers must hold c.mu.
+func (c *Cache) evictOne() {
+	victim := c.recency.Back()
+	scanned := 1
+	for el := victim.Prev(); el != nil && el != c.recency.Front() && scanned < evictWindow; el = el.Prev() {
+		// Strict < keeps ties on the older (further-back) entry, so equal
+		// budgets degrade to exact LRU order.
+		if el.Value.(*entry).k.budget < victim.Value.(*entry).k.budget {
+			victim = el
+		}
+		scanned++
+	}
+	c.recency.Remove(victim)
+	delete(c.entries, victim.Value.(*entry).k)
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness.

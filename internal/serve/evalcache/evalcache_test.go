@@ -247,3 +247,50 @@ func TestCacheConcurrent(t *testing.T) {
 		t.Fatal("concurrent run recorded no hits")
 	}
 }
+
+// TestCacheCostAwareEviction pins the budget-weighted victim order: at
+// capacity the cheapest (lowest-budget) entry inside the LRU window is
+// evicted before more expensive ones, even when it is not the least
+// recently used — and the most recently used entry is never the victim.
+func TestCacheCostAwareEviction(t *testing.T) {
+	space := testSpace()
+	inner := &fakeEvaluator{}
+	c := New(inner, 3)
+	r := rng.New(7)
+	a := space.NewConfig([]int{0, 0})
+	b := space.NewConfig([]int{1, 0})
+	d := space.NewConfig([]int{2, 0})
+	e := space.NewConfig([]int{3, 0})
+
+	eval := func(cfg search.Config, budget int) {
+		t.Helper()
+		if _, err := c.Evaluate(cfg, budget, r.Split(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eval(a, 100) // oldest but expensive
+	eval(b, 10)  // cheap low-rung entry
+	eval(d, 50)
+	eval(e, 75) // at capacity: victim must be b (budget 10), not LRU a
+
+	callsBefore := inner.calls.Load()
+	eval(a, 100)
+	eval(d, 50)
+	eval(e, 75)
+	if got := inner.calls.Load(); got != callsBefore {
+		t.Fatalf("expensive entries were evicted: %d extra evaluations", got-callsBefore)
+	}
+	eval(b, 10) // was evicted: recomputes, evicting the next-cheapest (d)
+	if got := inner.calls.Load(); got != callsBefore+1 {
+		t.Fatalf("cost-aware victim: want exactly b recomputed, got %d extra", got-callsBefore)
+	}
+	eval(d, 50)
+	if got := inner.calls.Load(); got != callsBefore+2 {
+		t.Fatalf("second victim: want d recomputed, got %d extra", got-callsBefore-1)
+	}
+	// a (budget 100) survived both rounds despite being least recently used.
+	eval(a, 100)
+	if got := inner.calls.Load(); got != callsBefore+2 {
+		t.Fatalf("highest-budget entry was evicted after %d extra evaluations", got-callsBefore-2)
+	}
+}

@@ -43,6 +43,11 @@ type Config struct {
 	// absorbs — each failed trial scores worst-case instead of aborting —
 	// before the job flips to StatusFailed. 0 selects 3.
 	FailureBudget int
+	// KernelWorkers caps the matmul-kernel goroutines of each pooled
+	// evaluation. 0 selects NumCPU/PoolSize (at least 1) so pool workers ×
+	// kernel workers never oversubscribes the machine. Kernel results are
+	// bitwise-identical for any value, so this only shapes CPU use.
+	KernelWorkers int
 	// WrapEvaluator, when non-nil, wraps each job's evaluator between
 	// the pool gate and the cache. It is the fault-injection point used
 	// by the crash/restart tests and is applied per job as the job
@@ -68,6 +73,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FailureBudget <= 0 {
 		c.FailureBudget = 3
+	}
+	if c.KernelWorkers <= 0 {
+		c.KernelWorkers = runtime.NumCPU() / c.PoolSize
+		if c.KernelWorkers < 1 {
+			c.KernelWorkers = 1
+		}
 	}
 	return c
 }
@@ -434,6 +445,7 @@ func (m *Manager) scopeFor(spec JobSpec) (*evalScope, error) {
 	base := nn.DefaultConfig()
 	base.MaxIter = spec.Iters
 	base.LearningRateInit = 0.02
+	base.KernelWorkers = m.cfg.KernelWorkers
 	cv := hpo.NewCVEvaluator(train, base, comps)
 	sc := &evalScope{
 		train: train,
