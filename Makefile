@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check crash bench bench-smoke fmt serve clean
+.PHONY: all build test race vet check crash chaos bench bench-smoke fmt serve clean
 
 # The kernel/Fit benchmark family captured in BENCH_kernels.json.
 BENCH_PATTERN = BenchmarkMat|BenchmarkFit
@@ -28,6 +28,15 @@ crash:
 	$(GO) test -race -count=1 ./internal/serve/journal/...
 	$(GO) test -race -count=1 -run 'TestRestartRecovery|TestPanicIsolation|TestTransientFailureRetried|TestFailureBudgetAbsorbsTrial|TestTimeoutReason|TestShutdownWithInFlightJobs|TestDrainRefusesSubmissions' ./internal/serve/
 
+# Overload suite: admission control (429 + Retry-After), the evaluation
+# deadline watchdog, and the chaos harness — a 30-second over-capacity
+# submission storm with injected panics, wedged evaluations, online
+# journal rotation and a mid-run kill/replay, all under the race
+# detector. Plain `go test` runs the same harness with a ~2s storm;
+# BHPOD_CHAOS_SECONDS overrides the length.
+chaos:
+	BHPOD_CHAOS_SECONDS=30 $(GO) test -race -count=1 -run 'TestChaosOverload|TestAdmissionControl429|TestEvalDeadlineAbandonsWedgedTrial|TestPoolAcquire|TestScope' -timeout 600s ./internal/serve/
+
 # Kernel + training-loop benchmarks, recorded as the perf baseline.
 # Writes BENCH_kernels.json (ns/op, B/op, allocs/op per benchmark).
 bench:
@@ -37,7 +46,7 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . >/dev/null
 
-check: vet race crash bench-smoke
+check: vet race crash chaos bench-smoke
 
 fmt:
 	gofmt -l -w .

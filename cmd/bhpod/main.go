@@ -10,20 +10,31 @@
 // cancelled with reason "interrupted", and jobs that were still queued
 // are re-enqueued and run again.
 //
+// The daemon also governs its own resources under load: submissions
+// beyond -max-pending queued jobs are shed with 429 + Retry-After
+// (priced from the observed evaluation latency), an evaluation running
+// past -eval-timeout is abandoned so it cannot hold a pool slot forever,
+// the journal rotates and re-compacts online once its active segment
+// passes -journal-max-bytes, and dataset scopes idle longer than
+// -scope-ttl release their memory (rebuilt deterministically on next
+// use).
+//
 // Usage:
 //
-//	bhpod [-addr :8149] [-workers N] [-max-jobs 4] [-cache-entries 65536]
-//	      [-data-dir DIR] [-drain-timeout 30s]
+//	bhpod [-addr :8149] [-workers N] [-max-jobs 4] [-max-pending 64]
+//	      [-cache-entries 65536] [-data-dir DIR] [-drain-timeout 30s]
 //	      [-eval-attempts 2] [-retry-backoff 50ms] [-failure-budget 3]
+//	      [-eval-timeout 0] [-journal-max-bytes 4194304] [-scope-ttl 0]
 //	      [-kernel-workers 0] [-pprof]
 //
 // Endpoints:
 //
-//	POST   /jobs        submit a job (JSON spec: dataset, method, ...)
+//	POST   /jobs        submit a job (JSON spec: dataset, method, ...);
+//	                    429 + Retry-After when overloaded, 503 draining
 //	GET    /jobs        list jobs
 //	GET    /jobs/{id}   job status + incumbent curve
 //	DELETE /jobs/{id}   cancel a job (idempotent on finished jobs)
-//	GET    /healthz     liveness probe ("draining" during shutdown)
+//	GET    /healthz     health probe ("ok", "overloaded" or "draining")
 //	GET    /metrics     service counters
 //	GET    /debug/pprof/*  live profiling (only with -pprof)
 //
@@ -56,8 +67,12 @@ func main() {
 		addr     = flag.String("addr", ":8149", "listen address")
 		workers  = flag.Int("workers", runtime.NumCPU(), "shared evaluation pool size across all jobs")
 		maxJobs  = flag.Int("max-jobs", 4, "max concurrently running jobs (excess stay queued)")
+		maxPend  = flag.Int("max-pending", 64, "max queued jobs before POST /jobs sheds load with 429 + Retry-After")
+		evalTmo  = flag.Duration("eval-timeout", 0, "abandon an evaluation running longer than this, freeing its pool slot (0 = no deadline)")
 		cacheN   = flag.Int("cache-entries", 1<<16, "evaluation cache entries per dataset scope (LRU)")
 		dataDir  = flag.String("data-dir", "", "journal directory for crash-safe job persistence (empty = in-memory only)")
+		jrnlMax  = flag.Int64("journal-max-bytes", 4<<20, "rotate + re-compact the journal once its active segment passes this size (negative = never)")
+		scopeTTL = flag.Duration("scope-ttl", 0, "release an idle dataset scope's memory after this long unused; rebuilt on next use (0 = keep forever)")
 		drainTmo = flag.Duration("drain-timeout", 30*time.Second, "how long in-flight jobs may finish after SIGTERM before being cancelled")
 		attempts = flag.Int("eval-attempts", 2, "total tries per evaluation before it counts as a failure")
 		backoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "base (jittered) delay between evaluation retries")
@@ -67,14 +82,18 @@ func main() {
 	)
 	flag.Parse()
 	cfg := serve.Config{
-		PoolSize:      *workers,
-		MaxJobs:       *maxJobs,
-		CacheEntries:  *cacheN,
-		DataDir:       *dataDir,
-		EvalAttempts:  *attempts,
-		RetryBackoff:  *backoff,
-		FailureBudget: *failures,
-		KernelWorkers: *kernelW,
+		PoolSize:        *workers,
+		MaxJobs:         *maxJobs,
+		MaxPending:      *maxPend,
+		EvalTimeout:     *evalTmo,
+		CacheEntries:    *cacheN,
+		DataDir:         *dataDir,
+		JournalMaxBytes: *jrnlMax,
+		ScopeTTL:        *scopeTTL,
+		EvalAttempts:    *attempts,
+		RetryBackoff:    *backoff,
+		FailureBudget:   *failures,
+		KernelWorkers:   *kernelW,
 	}
 	if err := run(*addr, cfg, *drainTmo, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "bhpod:", err)

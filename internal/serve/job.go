@@ -137,6 +137,11 @@ const (
 	// ReasonInterrupted: the job was mid-run when the daemon died; set
 	// during journal recovery.
 	ReasonInterrupted Reason = "interrupted"
+	// ReasonDeadline: an evaluation ran past -eval-timeout and was
+	// abandoned by the watchdog. It qualifies journal *event* records
+	// (and the trial charged to the failure budget), not a terminal job
+	// status.
+	ReasonDeadline Reason = "deadline"
 )
 
 // terminalStatus reports whether a status is final.

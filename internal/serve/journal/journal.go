@@ -6,27 +6,49 @@
 // returns, and Replay tolerates a torn final line (the signature of a
 // crash mid-write) by treating it as end-of-log.
 //
+// The log is segmented so it stays bounded while the daemon runs:
+//
+//	base-000007.jsonl      compacted fold of every segment ≤ 7 (optional)
+//	journal-000008.jsonl   sealed segment
+//	journal-000009.jsonl   active segment (appends go here)
+//
+// Append rotates to a fresh segment once the active one passes the
+// configured size and re-compacts everything sealed so far into a new
+// base in the background, using the same temp-file + atomic-rename
+// machinery as startup Compact. The fold is ordered so a crash at any
+// point is recoverable: the new base becomes visible atomically *before*
+// the files it folds are deleted, and Replay ignores bases older than the
+// newest and segments at or below the newest base's sequence — stale
+// leftovers, never data. A gap *above* the base sequence, by contrast,
+// means a sealed segment was lost and Replay fails with a clear error
+// rather than silently dropping jobs.
+//
 // On startup the serve layer replays the log into per-job states,
 // reclassifies jobs that were mid-run when the process died, and rewrites
-// the log compacted — one submit record plus (for finished jobs) one
-// result record per job — via a temp file and an atomic rename, so the
-// journal does not grow across restarts and a crash during compaction
-// leaves the previous log intact.
+// the log compacted — one submit (plus one terminal) record per job —
+// so the journal does not grow across restarts and a crash during
+// compaction leaves the previous log intact.
 package journal
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"enhancedbhpo/internal/trace"
 )
 
-// FileName is the journal file inside a data directory.
+// FileName is the legacy single-file journal inside a data directory.
+// Pre-segmentation directories are migrated on open/replay by renaming it
+// to the first numbered segment.
 const FileName = "journal.jsonl"
 
 // Record types.
@@ -38,6 +60,11 @@ const (
 	// TypeResult records a terminal state with everything needed to serve
 	// the job after a restart; it is fsynced.
 	TypeResult = "result"
+	// TypeEvent records an observational incident (reason "deadline": an
+	// evaluation was abandoned by the watchdog). Events never change a
+	// job's replayed state and are dropped by compaction; they exist so a
+	// post-mortem can see what the daemon shed or abandoned and when.
+	TypeEvent = "event"
 )
 
 // Record is one journal line. The spec travels as raw JSON so this
@@ -59,33 +86,185 @@ type Record struct {
 	TestScore   *float64        `json:"test_score,omitempty"`
 }
 
-// Writer appends records to a data directory's journal. Safe for
-// concurrent use.
+// segmentName and baseName are the on-disk names for sequence seq.
+func segmentName(seq int) string { return fmt.Sprintf("journal-%06d.jsonl", seq) }
+func baseName(seq int) string    { return fmt.Sprintf("base-%06d.jsonl", seq) }
+
+// parseSeq extracts the sequence from a segment or base file name.
+func parseSeq(name, prefix string) (int, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".jsonl") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".jsonl")
+	n, err := strconv.Atoi(mid)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// layout is the scanned shape of a data directory: the newest base (the
+// compacted fold, if any) and every numbered segment, sorted.
+type layout struct {
+	hasBase bool
+	baseSeq int
+	segs    []int // sorted ascending; may include stale seqs ≤ baseSeq
+}
+
+// scanDir reads the directory into a layout. A missing directory is an
+// empty layout.
+func scanDir(dir string) (layout, error) {
+	var lay layout
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return lay, nil
+	}
+	if err != nil {
+		return lay, fmt.Errorf("journal: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if n, ok := parseSeq(e.Name(), "journal-"); ok {
+			lay.segs = append(lay.segs, n)
+			continue
+		}
+		if n, ok := parseSeq(e.Name(), "base-"); ok {
+			if !lay.hasBase || n > lay.baseSeq {
+				lay.hasBase = true
+				lay.baseSeq = n
+			}
+		}
+	}
+	sort.Ints(lay.segs)
+	return lay, nil
+}
+
+// liveSegs returns the segments that carry data under this layout: those
+// strictly above the base sequence. Segments at or below it are stale
+// leftovers of a fold that crashed between rename and cleanup.
+func (l layout) liveSegs() []int {
+	if !l.hasBase {
+		return l.segs
+	}
+	i := sort.SearchInts(l.segs, l.baseSeq+1)
+	return l.segs[i:]
+}
+
+// maxSeq returns the highest sequence the layout knows about.
+func (l layout) maxSeq() int {
+	m := 0
+	if l.hasBase {
+		m = l.baseSeq
+	}
+	if n := len(l.segs); n > 0 && l.segs[n-1] > m {
+		m = l.segs[n-1]
+	}
+	return m
+}
+
+// migrateLegacy renames a pre-segmentation journal.jsonl to the first
+// numbered segment. It refuses to guess an order if numbered files
+// already coexist with the legacy one.
+func migrateLegacy(dir string) error {
+	legacy := filepath.Join(dir, FileName)
+	if _, err := os.Stat(legacy); errors.Is(err, os.ErrNotExist) {
+		return nil
+	} else if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	lay, err := scanDir(dir)
+	if err != nil {
+		return err
+	}
+	if lay.hasBase || len(lay.segs) > 0 {
+		return fmt.Errorf("journal: legacy %s coexists with segmented journal in %s", FileName, dir)
+	}
+	if err := os.Rename(legacy, filepath.Join(dir, segmentName(1))); err != nil {
+		return fmt.Errorf("journal: migrating legacy journal: %w", err)
+	}
+	return nil
+}
+
+// Options tunes a Writer.
+type Options struct {
+	// MaxBytes rotates the active segment once it reaches this size; the
+	// sealed segments are re-compacted into a fresh base in the
+	// background. 0 disables rotation.
+	MaxBytes int64
+	// OnError receives background fold errors (the live append path is
+	// unaffected by a failed fold; the data stays in the sealed segments).
+	OnError func(error)
+}
+
+// Writer appends records to a data directory's journal, rotating the
+// active segment at Options.MaxBytes. Safe for concurrent use.
 type Writer struct {
-	mu sync.Mutex
-	f  *os.File
+	dir      string
+	maxBytes int64
+	onError  func(error)
+
+	mu     sync.Mutex
+	f      *os.File
+	seq    int
+	size   int64
+	foldWG sync.WaitGroup
 }
 
 // Open creates the data directory if needed and opens its journal for
-// appending.
+// appending with rotation disabled. Use OpenOptions to bound segments.
 func Open(dir string) (*Writer, error) {
+	return OpenOptions(dir, Options{})
+}
+
+// OpenOptions creates the data directory if needed, migrates a legacy
+// single-file journal, and opens the newest segment for appending.
+func OpenOptions(dir string, opts Options) (*Writer, error) {
 	if dir == "" {
 		return nil, errors.New("journal: empty data dir")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, FileName), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err := migrateLegacy(dir); err != nil {
+		return nil, err
+	}
+	lay, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	seq := lay.maxSeq()
+	if live := lay.liveSegs(); len(live) == 0 {
+		// Nothing appendable: start the segment after the base (or 1).
+		seq++
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(seq)), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	return &Writer{f: f}, nil
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Writer{
+		dir:      dir,
+		maxBytes: opts.MaxBytes,
+		onError:  opts.OnError,
+		f:        f,
+		seq:      seq,
+		size:     st.Size(),
+	}, nil
 }
 
 // Append writes one record as a JSON line. Terminal (result) records are
 // fsynced before Append returns, so a finished job survives any later
 // crash; non-terminal records ride on the OS page cache — losing one
 // degrades a job from running to queued on replay, never corrupts it.
+// When the active segment passes MaxBytes the append also rotates: the
+// segment is sealed, a fresh one opened, and a background fold
+// re-compacts everything sealed so far into a new base.
 func (w *Writer) Append(rec Record) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -100,18 +279,58 @@ func (w *Writer) Append(rec Record) error {
 	if _, err := w.f.Write(line); err != nil {
 		return fmt.Errorf("journal: appending: %w", err)
 	}
+	w.size += int64(len(line))
 	if rec.Type == TypeResult {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("journal: fsync: %w", err)
 		}
 	}
+	if w.maxBytes > 0 && w.size >= w.maxBytes {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// Close syncs and closes the journal. Idempotent.
+// rotateLocked seals the active segment, opens the next one, and folds
+// the sealed history into a new base in the background. It first waits
+// for any previous fold, so at most one unfolded sealed generation ever
+// exists — that is what bounds the directory at roughly
+// base + one sealed generation + the active segment.
+func (w *Writer) rotateLocked() error {
+	w.foldWG.Wait()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sealing segment %d: %w", w.seq, err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("journal: sealing segment %d: %w", w.seq, err)
+	}
+	sealed := w.seq
+	w.seq++
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentName(w.seq)), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		w.f = nil
+		return fmt.Errorf("journal: opening segment %d: %w", w.seq, err)
+	}
+	w.f = f
+	w.size = 0
+	w.foldWG.Add(1)
+	go func() {
+		defer w.foldWG.Done()
+		if err := foldDir(w.dir, sealed); err != nil && w.onError != nil {
+			w.onError(err)
+		}
+	}()
+	return nil
+}
+
+// Close waits for any in-flight fold, then syncs and closes the active
+// segment. Idempotent.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.foldWG.Wait()
 	if w.f == nil {
 		return nil
 	}
@@ -123,6 +342,38 @@ func (w *Writer) Close() error {
 		return serr
 	}
 	return cerr
+}
+
+// Stats reports the journal files currently on disk (base + segments)
+// and their total size — the payload behind the journal_segments and
+// journal_bytes service metrics.
+type Stats struct {
+	Segments int
+	Bytes    int64
+}
+
+// DirStats scans a data directory for journal files. Best-effort: an
+// unreadable directory reports zero.
+func DirStats(dir string) Stats {
+	var s Stats
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return s
+	}
+	for _, e := range entries {
+		_, isSeg := parseSeq(e.Name(), "journal-")
+		_, isBase := parseSeq(e.Name(), "base-")
+		if !isSeg && !isBase && e.Name() != FileName {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		s.Segments++
+		s.Bytes += info.Size()
+	}
+	return s
 }
 
 // JobState is the merged view of one job after replaying its records.
@@ -154,75 +405,147 @@ func (s JobState) Terminal() bool {
 	return true
 }
 
-// Replay reads a data directory's journal into per-job states in first
-// submission order. A missing journal yields no states; a torn final
-// line (crash mid-write) ends the replay cleanly at the last whole
-// record.
-func Replay(dir string) ([]JobState, error) {
-	f, err := os.Open(filepath.Join(dir, FileName))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+// replayState accumulates records across files in first-submission order.
+type replayState struct {
+	byID  map[string]*JobState
+	order []string
+}
+
+// apply merges one record. Event records are observational and skipped.
+func (r *replayState) apply(rec Record) {
+	if rec.Type == TypeEvent {
+		return
 	}
+	st, ok := r.byID[rec.JobID]
+	if !ok {
+		st = &JobState{ID: rec.JobID, Status: "queued"}
+		r.byID[rec.JobID] = st
+		r.order = append(r.order, rec.JobID)
+	}
+	switch rec.Type {
+	case TypeSubmit:
+		st.Spec = rec.Spec
+		st.SubmittedAt = rec.Time
+	case TypeStatus:
+		st.Status = rec.Status
+		if rec.Status == "running" {
+			st.StartedAt = rec.Time
+		}
+	case TypeResult:
+		st.Status = rec.Status
+		st.Reason = rec.Reason
+		st.Error = rec.Error
+		st.Stack = rec.Stack
+		st.Evaluations = rec.Evaluations
+		st.Curve = rec.Curve
+		st.BestConfig = rec.BestConfig
+		st.BestScore = rec.BestScore
+		st.TestScore = rec.TestScore
+		st.FinishedAt = rec.Time
+	}
+}
+
+// replayFile decodes one journal file into the accumulator. tornOK
+// tolerates a decode error as a torn tail (crash mid-append) — only ever
+// granted to the final, active segment; a decode error anywhere else is
+// corruption and fails the replay.
+func (r *replayState) replayFile(path string, tornOK bool) error {
+	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
+		return fmt.Errorf("journal: %w", err)
 	}
 	defer f.Close()
-
-	byID := map[string]*JobState{}
-	var order []string
 	dec := json.NewDecoder(f)
 	for {
 		var rec Record
 		if err := dec.Decode(&rec); err != nil {
-			// io.EOF is a clean end; anything else is a torn tail from a
-			// crash mid-append — stop at the last whole record.
-			break
-		}
-		st, ok := byID[rec.JobID]
-		if !ok {
-			st = &JobState{ID: rec.JobID, Status: "queued"}
-			byID[rec.JobID] = st
-			order = append(order, rec.JobID)
-		}
-		switch rec.Type {
-		case TypeSubmit:
-			st.Spec = rec.Spec
-			st.SubmittedAt = rec.Time
-		case TypeStatus:
-			st.Status = rec.Status
-			if rec.Status == "running" {
-				st.StartedAt = rec.Time
+			if errors.Is(err, io.EOF) {
+				return nil
 			}
-		case TypeResult:
-			st.Status = rec.Status
-			st.Reason = rec.Reason
-			st.Error = rec.Error
-			st.Stack = rec.Stack
-			st.Evaluations = rec.Evaluations
-			st.Curve = rec.Curve
-			st.BestConfig = rec.BestConfig
-			st.BestScore = rec.BestScore
-			st.TestScore = rec.TestScore
-			st.FinishedAt = rec.Time
+			if tornOK {
+				// Crash mid-write: stop at the last whole record.
+				return nil
+			}
+			return fmt.Errorf("journal: torn record in sealed file %s: %w", filepath.Base(path), err)
+		}
+		r.apply(rec)
+	}
+}
+
+// replayFiles resolves the layout into the ordered file list to replay
+// and verifies the live segment sequence is contiguous: the first live
+// segment must directly follow the base, and no live segment may be
+// missing — a gap means a sealed segment was lost.
+func replayFiles(dir string, lay layout) ([]string, error) {
+	var files []string
+	if lay.hasBase {
+		files = append(files, filepath.Join(dir, baseName(lay.baseSeq)))
+	}
+	live := lay.liveSegs()
+	for i, seq := range live {
+		want := seq
+		switch {
+		case i == 0 && lay.hasBase:
+			want = lay.baseSeq + 1
+		case i > 0:
+			want = live[i-1] + 1
+		}
+		if seq != want {
+			return nil, fmt.Errorf("journal: missing segment %s (found %s after %s)",
+				segmentName(want), segmentName(seq), baseName(lay.baseSeq))
+		}
+		files = append(files, filepath.Join(dir, segmentName(seq)))
+	}
+	return files, nil
+}
+
+// replayLayout merges the layout's base and live segments, tolerating a
+// torn tail only in the newest segment.
+func replayLayout(dir string, lay layout) ([]JobState, error) {
+	files, err := replayFiles(dir, lay)
+	if err != nil {
+		return nil, err
+	}
+	acc := replayState{byID: map[string]*JobState{}}
+	nLive := len(lay.liveSegs())
+	for i, path := range files {
+		tornOK := nLive > 0 && i == len(files)-1
+		if err := acc.replayFile(path, tornOK); err != nil {
+			return nil, err
 		}
 	}
-	out := make([]JobState, 0, len(order))
-	for _, id := range order {
-		out = append(out, *byID[id])
+	out := make([]JobState, 0, len(acc.order))
+	for _, id := range acc.order {
+		out = append(out, *acc.byID[id])
 	}
 	return out, nil
 }
 
-// Compact rewrites the journal to the minimal record set reproducing the
-// given states: a submit record per job, a running transition where one
-// was seen, and a result record for terminal jobs. The rewrite goes
-// through a temp file and an atomic rename, so a crash mid-compaction
-// leaves the previous journal untouched.
-func Compact(dir string, states []JobState) error {
+// Replay reads a data directory's journal — newest base plus the live
+// segment sequence — into per-job states in first submission order. A
+// missing journal yields no states; a torn final line in the newest
+// segment (crash mid-write) ends the replay cleanly at the last whole
+// record; a missing middle segment or a torn sealed file is an error.
+func Replay(dir string) ([]JobState, error) {
+	if err := migrateLegacy(dir); err != nil {
+		return nil, err
+	}
+	lay, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return replayLayout(dir, lay)
+}
+
+// writeBase writes the states as a compacted base file for seq via a
+// temp file and an atomic rename: a submit record per job, a running
+// transition where one was seen, and a result record for terminal jobs.
+func writeBase(dir string, seq int, states []JobState) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	tmp := filepath.Join(dir, FileName+".tmp")
+	final := filepath.Join(dir, baseName(seq))
+	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
@@ -268,8 +591,78 @@ func Compact(dir string, states []JobState) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, FileName)); err != nil {
+	if err := os.Rename(tmp, final); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
+	return nil
+}
+
+// cleanupBelow best-effort deletes bases older than keepBase and
+// segments at or below seg. Failures leave stale files that every replay
+// path already ignores, so they are not errors.
+func cleanupBelow(dir string, keepBase, seg int, lay layout) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if n, ok := parseSeq(e.Name(), "base-"); ok && n < keepBase {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+		if n, ok := parseSeq(e.Name(), "journal-"); ok && n <= seg {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// foldDir re-compacts the base and every sealed segment up to and
+// including upto into a new base-upto, then removes the folded files.
+// The new base is visible atomically before anything is deleted, so a
+// crash at any point leaves a replayable directory.
+func foldDir(dir string, upto int) error {
+	lay, err := scanDir(dir)
+	if err != nil {
+		return err
+	}
+	// Restrict the layout to sealed history: segments beyond upto (the
+	// active one, or later) stay out of the fold.
+	trimmed := lay
+	trimmed.segs = nil
+	for _, s := range lay.segs {
+		if s <= upto {
+			trimmed.segs = append(trimmed.segs, s)
+		}
+	}
+	states, err := replayLayout(dir, trimmed)
+	if err != nil {
+		return fmt.Errorf("folding segments ≤ %d: %w", upto, err)
+	}
+	if err := writeBase(dir, upto, states); err != nil {
+		return err
+	}
+	cleanupBelow(dir, upto, upto, lay)
+	return nil
+}
+
+// Compact rewrites the whole journal to the minimal record set
+// reproducing the given states: one base file at the directory's highest
+// sequence, written via a temp file and an atomic rename, replacing every
+// earlier base and segment. A crash mid-compaction leaves the previous
+// journal untouched; a crash between the rename and the cleanup leaves
+// stale files that replay ignores. The next OpenOptions appends to a
+// fresh segment after the base.
+func Compact(dir string, states []JobState) error {
+	if err := migrateLegacy(dir); err != nil {
+		return err
+	}
+	lay, err := scanDir(dir)
+	if err != nil {
+		return err
+	}
+	seq := lay.maxSeq()
+	if err := writeBase(dir, seq, states); err != nil {
+		return err
+	}
+	cleanupBelow(dir, seq, seq, lay)
 	return nil
 }

@@ -2,8 +2,11 @@ package journal
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -109,7 +112,7 @@ func TestReplayTornTail(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, FileName)
+	path := filepath.Join(dir, segmentName(1))
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -191,6 +194,198 @@ func TestCompactRoundTrip(t *testing.T) {
 	}
 	if final[1].Status != "done" {
 		t.Fatalf("post-compaction append lost: %+v", final[1])
+	}
+}
+
+// writeSegment handcrafts one complete segment file from records.
+func writeSegment(t *testing.T, dir string, seq int, recs ...Record) {
+	t.Helper()
+	var buf []byte
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, segmentName(seq)), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentReplayTornNewest: with a multi-segment journal, a torn tail
+// is tolerated only in the newest segment — sealed history replays whole.
+func TestSegmentReplayTornNewest(t *testing.T) {
+	dir := t.TempDir()
+	spec := json.RawMessage(`{"dataset":"australian","method":"sha"}`)
+	t0 := time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC)
+	writeSegment(t, dir, 1,
+		Record{Type: TypeSubmit, Time: t0, JobID: "job-1", Spec: spec},
+		Record{Type: TypeResult, Time: t0.Add(time.Second), JobID: "job-1", Status: "done", Evaluations: 3},
+	)
+	writeSegment(t, dir, 2,
+		Record{Type: TypeSubmit, Time: t0.Add(2 * time.Second), JobID: "job-2", Spec: spec},
+	)
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(2)), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"result","job":"job-2","sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	states, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 2 {
+		t.Fatalf("replayed %d states, want 2: %+v", len(states), states)
+	}
+	if states[0].Status != "done" || states[0].Evaluations != 3 {
+		t.Fatalf("sealed segment state lost: %+v", states[0])
+	}
+	if states[1].Status != "queued" {
+		t.Fatalf("torn tail not dropped: %+v", states[1])
+	}
+
+	// The same tear in a *sealed* segment is corruption, not a torn tail.
+	writeSegment(t, dir, 3,
+		Record{Type: TypeSubmit, Time: t0.Add(3 * time.Second), JobID: "job-3", Spec: spec},
+	)
+	if _, err := Replay(dir); err == nil {
+		t.Fatal("torn record in a sealed segment replayed without error")
+	}
+}
+
+// TestReplayMissingMiddleSegment: a gap in the live segment sequence is
+// lost data and must fail with an error naming the missing segment.
+func TestReplayMissingMiddleSegment(t *testing.T) {
+	dir := t.TempDir()
+	spec := json.RawMessage(`{"dataset":"australian","method":"sha"}`)
+	now := time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC)
+	for seq := 1; seq <= 3; seq++ {
+		writeSegment(t, dir, seq,
+			Record{Type: TypeSubmit, Time: now, JobID: "job-" + segmentName(seq), Spec: spec})
+	}
+	if _, err := Replay(dir); err != nil {
+		t.Fatalf("contiguous segments: %v", err)
+	}
+	if err := os.Remove(filepath.Join(dir, segmentName(2))); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Replay(dir)
+	if err == nil {
+		t.Fatal("missing middle segment replayed without error")
+	}
+	if !strings.Contains(err.Error(), segmentName(2)) {
+		t.Fatalf("error %q does not name the missing segment", err)
+	}
+}
+
+// TestRotationConcurrentAppends hammers a rotating writer from several
+// goroutines (run under -race via make check): every job must survive
+// rotation + background folds, and the sealed history must land in a
+// base file.
+func TestRotationConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenOptions(dir, Options{
+		MaxBytes: 512,
+		OnError:  func(err error) { t.Errorf("fold: %v", err) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, jobsEach = 4, 40
+	spec := json.RawMessage(`{"dataset":"australian","method":"sha"}`)
+	now := time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < jobsEach; i++ {
+				id := fmt.Sprintf("job-%d-%d", g, i)
+				if err := w.Append(Record{Type: TypeSubmit, Time: now, JobID: id, Spec: spec}); err != nil {
+					t.Errorf("append submit %s: %v", id, err)
+					return
+				}
+				if err := w.Append(Record{
+					Type: TypeResult, Time: now.Add(time.Second), JobID: id,
+					Status: "done", Evaluations: 1,
+				}); err != nil {
+					t.Errorf("append result %s: %v", id, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	states, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != writers*jobsEach {
+		t.Fatalf("replayed %d states, want %d", len(states), writers*jobsEach)
+	}
+	for _, st := range states {
+		if st.Status != "done" {
+			t.Fatalf("job %s lost its result across rotation: %+v", st.ID, st)
+		}
+	}
+	lay, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lay.hasBase {
+		t.Fatal("no fold ever completed: no base file on disk")
+	}
+	if live := lay.liveSegs(); len(live) > 2 {
+		t.Fatalf("folds fell behind: %d live segments (%v)", len(live), live)
+	}
+	if s := DirStats(dir); s.Segments == 0 || s.Bytes == 0 {
+		t.Fatalf("DirStats sees nothing: %+v", s)
+	}
+}
+
+// TestLegacyJournalMigrated: a pre-segmentation journal.jsonl is adopted
+// as the first segment on replay and open.
+func TestLegacyJournalMigrated(t *testing.T) {
+	dir := t.TempDir()
+	spec := json.RawMessage(`{"dataset":"australian","method":"sha"}`)
+	line, _ := json.Marshal(Record{Type: TypeSubmit, Time: time.Now(), JobID: "job-1", Spec: spec})
+	if err := os.WriteFile(filepath.Join(dir, FileName), append(line, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	states, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || states[0].ID != "job-1" {
+		t.Fatalf("legacy replay: %+v", states)
+	}
+	if _, err := os.Stat(filepath.Join(dir, FileName)); !os.IsNotExist(err) {
+		t.Fatal("legacy file not migrated away")
+	}
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Type: TypeResult, Time: time.Now(), JobID: "job-1", Status: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	states, err = Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || states[0].Status != "done" {
+		t.Fatalf("post-migration append lost: %+v", states)
 	}
 }
 

@@ -3,7 +3,9 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -18,6 +20,12 @@ import (
 	"enhancedbhpo/internal/trace"
 )
 
+// ErrOverloaded is returned by Submit when the pending-job queue is at
+// MaxPending: the service sheds the submission instead of accepting
+// unbounded work. The HTTP layer maps it to 429 with a Retry-After
+// computed from the observed evaluation latency.
+var ErrOverloaded = errors.New("serve: pending queue full")
+
 // Config tunes the Manager.
 type Config struct {
 	// PoolSize is the shared evaluation-slot count across all jobs.
@@ -26,12 +34,33 @@ type Config struct {
 	// MaxJobs bounds concurrently running jobs; submissions beyond it
 	// wait in the queued state. 0 selects 4.
 	MaxJobs int
+	// MaxPending bounds the queued (accepted but not yet running) jobs;
+	// submissions beyond it are shed with ErrOverloaded. Jobs recovered
+	// from the journal are never shed. 0 selects 64.
+	MaxPending int
+	// EvalTimeout abandons an evaluation that has run longer than this:
+	// its pool slot is released, the wedged goroutine's eventual result
+	// is discarded, and the trial is charged to the job's failure budget
+	// (worst-case score). 0 disables the watchdog.
+	EvalTimeout time.Duration
 	// CacheEntries caps each evaluation-cache scope (LRU). 0 selects 1<<16.
 	CacheEntries int
 	// DataDir, when non-empty, enables journaled persistence: job specs
-	// and terminal results are appended to DataDir/journal.jsonl so
-	// NewManagerFromJournal can rebuild the job table after a restart.
+	// and terminal results are appended to a segmented JSONL journal in
+	// DataDir so NewManagerFromJournal can rebuild the job table after a
+	// restart.
 	DataDir string
+	// JournalMaxBytes rotates the journal's active segment past this
+	// size and re-compacts the sealed history in the background, keeping
+	// the directory bounded at roughly the compacted state plus two
+	// segments. 0 selects 4 MiB; negative disables rotation.
+	JournalMaxBytes int64
+	// ScopeTTL releases an evalScope's dataset/fold memory once no live
+	// job has referenced it for this long; the scope is rebuilt
+	// deterministically on next use (same spec → same data, folds and
+	// cache scope key, so only the memoized scores are lost). 0 disables
+	// eviction.
+	ScopeTTL time.Duration
 	// EvalAttempts is the total tries per evaluation before it counts as
 	// a definitive failure (panics and errors alike; retries are spaced
 	// by a jittered RetryBackoff). 0 selects 2.
@@ -50,8 +79,8 @@ type Config struct {
 	KernelWorkers int
 	// WrapEvaluator, when non-nil, wraps each job's evaluator between
 	// the pool gate and the cache. It is the fault-injection point used
-	// by the crash/restart tests and is applied per job as the job
-	// starts optimizing.
+	// by the crash/restart and chaos tests and is applied per job as the
+	// job starts optimizing.
 	WrapEvaluator func(jobID string, inner hpo.Evaluator) hpo.Evaluator
 }
 
@@ -62,8 +91,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4
 	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 64
+	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 1 << 16
+	}
+	if c.JournalMaxBytes == 0 {
+		c.JournalMaxBytes = 4 << 20
 	}
 	if c.EvalAttempts <= 0 {
 		c.EvalAttempts = 2
@@ -86,12 +121,23 @@ func (c Config) withDefaults() Config {
 // evalScope is the shared, deterministic substrate of every job that
 // agrees on a JobSpec cache scope: the synthesized data, the fold
 // components and the memoizing evaluator. Scopes are built once and
-// reused, so resubmissions hit warm caches.
+// reused, so resubmissions hit warm caches; an idle scope (no live job
+// referencing it for ScopeTTL) is evicted to reclaim its dataset and
+// fold memory and rebuilt deterministically on next use.
 type evalScope struct {
 	train, test *dataset.Dataset
 	comps       hpo.Components
 	cv          *hpo.CVEvaluator
 	cache       *evalcache.Cache
+}
+
+// scopeEntry tracks one live scope in the manager's table: how many jobs
+// currently hold it (janitor never evicts refs > 0) and when it was last
+// released.
+type scopeEntry struct {
+	scope    *evalScope
+	refs     int
+	lastUsed time.Time
 }
 
 // Manager owns the job table, the shared pool and the cache scopes.
@@ -105,17 +151,22 @@ type Manager struct {
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 
-	evals         atomic.Int64
-	trialFailures atomic.Int64
-	journalErrs   atomic.Int64
+	evals            atomic.Int64
+	trialFailures    atomic.Int64
+	journalErrs      atomic.Int64
+	shed             atomic.Int64
+	deadlineExceeded atomic.Int64
+	scopesEvicted    atomic.Int64
+	evalEWMA         atomic.Uint64 // math.Float64bits of the latency EWMA in seconds
 
 	journal *journal.Writer // nil when persistence is disabled
 
-	mu     sync.Mutex
-	seq    int
-	jobs   map[string]*Job
-	order  []string
-	scopes map[string]*evalScope
+	mu      sync.Mutex
+	seq     int
+	pending int // jobs accepted but not yet holding a job slot
+	jobs    map[string]*Job
+	order   []string
+	scopes  map[string]*scopeEntry
 }
 
 // NewManager returns a ready, non-persistent manager; callers should
@@ -124,7 +175,7 @@ type Manager struct {
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Manager{
+	m := &Manager{
 		cfg:        cfg,
 		pool:       NewPool(cfg.PoolSize),
 		started:    time.Now(),
@@ -132,8 +183,12 @@ func NewManager(cfg Config) *Manager {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
-		scopes:     map[string]*evalScope{},
+		scopes:     map[string]*scopeEntry{},
 	}
+	if cfg.ScopeTTL > 0 {
+		go m.scopeJanitor()
+	}
+	return m
 }
 
 // NewManagerFromJournal opens (creating if needed) the journal in
@@ -143,7 +198,8 @@ func NewManager(cfg Config) *Manager {
 // died are marked cancelled with reason "interrupted", and jobs that
 // were still queued are re-enqueued and run again. The journal is
 // compacted to one submit (plus one terminal) record per job before new
-// records are appended.
+// records are appended; while the daemon runs, segments past
+// JournalMaxBytes are rotated and re-compacted online.
 func NewManagerFromJournal(cfg Config) (*Manager, error) {
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("serve: NewManagerFromJournal needs Config.DataDir")
@@ -164,7 +220,14 @@ func NewManagerFromJournal(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	m := NewManager(cfg)
-	w, err := journal.Open(cfg.DataDir)
+	maxBytes := m.cfg.JournalMaxBytes
+	if maxBytes < 0 {
+		maxBytes = 0 // negative config value = rotation disabled
+	}
+	w, err := journal.OpenOptions(cfg.DataDir, journal.Options{
+		MaxBytes: maxBytes,
+		OnError:  func(error) { m.journalErrs.Add(1) },
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +250,12 @@ func NewManagerFromJournal(cfg Config) (*Manager, error) {
 			// Queued when the process died: run it again under this
 			// manager (the compacted journal already holds its submit
 			// record, so launching appends only the new transitions).
+			// Replayed jobs bypass admission control — they were already
+			// accepted once.
 			job.status = StatusQueued
+			m.mu.Lock()
+			m.pending++
+			m.mu.Unlock()
 			m.launch(job)
 			continue
 		}
@@ -244,8 +312,10 @@ func (m *Manager) launch(job *Job) {
 	go m.run(ctx, job, cancel)
 }
 
-// Submit validates the spec, registers a queued job, journals the
-// submission and starts the job in the background.
+// Submit validates the spec, applies admission control against the
+// pending queue, registers a queued job, journals the submission and
+// starts the job in the background. A full pending queue sheds the
+// submission with ErrOverloaded instead of accepting unbounded work.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
@@ -258,6 +328,13 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		submitted: time.Now(),
 	}
 	m.mu.Lock()
+	if m.pending >= m.cfg.MaxPending {
+		pending := m.pending
+		m.mu.Unlock()
+		m.shed.Add(1)
+		return nil, fmt.Errorf("%w (%d jobs pending, max %d)", ErrOverloaded, pending, m.cfg.MaxPending)
+	}
+	m.pending++
 	m.seq++
 	job.ID = fmt.Sprintf("job-%d", m.seq)
 	m.jobs[job.ID] = job
@@ -266,6 +343,72 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	m.journalSubmit(job)
 	m.launch(job)
 	return job, nil
+}
+
+// decPending marks one accepted job as no longer pending (it started
+// running, or it was cancelled while still queued).
+func (m *Manager) decPending() {
+	m.mu.Lock()
+	if m.pending > 0 {
+		m.pending--
+	}
+	m.mu.Unlock()
+}
+
+// PendingDepth returns the number of accepted jobs not yet running.
+func (m *Manager) PendingDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pending
+}
+
+// Overloaded reports whether the pending queue is full — the readiness
+// signal behind /healthz's "overloaded" state: the daemon is alive and
+// serving reads, but POST /jobs is being shed.
+func (m *Manager) Overloaded() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pending >= m.cfg.MaxPending
+}
+
+// observeEvalLatency folds one successful evaluation's wall time into
+// the latency EWMA that prices Retry-After.
+func (m *Manager) observeEvalLatency(d time.Duration) {
+	const alpha = 0.2
+	secs := d.Seconds()
+	for {
+		old := m.evalEWMA.Load()
+		prev := math.Float64frombits(old)
+		next := secs
+		if old != 0 {
+			next = (1-alpha)*prev + alpha*secs
+		}
+		if m.evalEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// RetryAfter estimates when a shed client should retry: the observed
+// per-evaluation latency EWMA scaled by the queue ahead of them and
+// divided across the pool, clamped to [1s, 10m] so the header is always
+// positive and never absurd.
+func (m *Manager) RetryAfter() time.Duration {
+	ew := math.Float64frombits(m.evalEWMA.Load())
+	if ew <= 0 {
+		ew = 1 // no evaluation observed yet: a conservative guess
+	}
+	m.mu.Lock()
+	pending := m.pending
+	m.mu.Unlock()
+	secs := ew * float64(pending+1) / float64(m.cfg.PoolSize)
+	switch {
+	case secs < 1:
+		secs = 1
+	case secs > 600:
+		secs = 600
+	}
+	return time.Duration(secs * float64(time.Second))
 }
 
 // Get returns a job by ID.
@@ -308,7 +451,8 @@ func (m *Manager) Drain(ctx context.Context) error {
 
 // Shutdown cancels every remaining job (recording reason "shutdown"),
 // waits for runners to exit or ctx to expire, and closes the journal so
-// every terminal record is on disk.
+// every terminal record is on disk. The scope janitor stops with the
+// base context.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	jobs := make([]*Job, 0, len(m.jobs))
@@ -345,11 +489,11 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// journalSubmit, journalStatus and journalTerminal persist lifecycle
-// records when a journal is configured. Journaling is best-effort for
-// the live path: an append error is counted (journal_errors in the
-// metrics) rather than failing the job, since the in-memory table is
-// still authoritative until the next restart.
+// journalSubmit, journalStatus, journalTerminal and journalEvent persist
+// lifecycle records when a journal is configured. Journaling is
+// best-effort for the live path: an append error is counted
+// (journal_errors in the metrics) rather than failing the job, since the
+// in-memory table is still authoritative until the next restart.
 func (m *Manager) journalSubmit(job *Job) {
 	if m.journal == nil {
 		return
@@ -405,15 +549,36 @@ func (m *Manager) journalTerminal(job *Job) {
 	}
 }
 
-// scopeFor returns (building on first use) the evaluation scope shared by
-// all jobs with the spec's cache scope. Construction is deterministic in
-// the spec: data synthesis and grouping draw only on DatasetSeed.
-func (m *Manager) scopeFor(spec JobSpec) (*evalScope, error) {
+// journalEvent records an observational incident (e.g. an abandoned
+// evaluation, reason "deadline"); events never change replayed job state
+// and are dropped by compaction.
+func (m *Manager) journalEvent(job *Job, reason Reason) {
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal.Append(journal.Record{
+		Type:   journal.TypeEvent,
+		Time:   time.Now(),
+		JobID:  job.ID,
+		Reason: string(reason),
+	}); err != nil {
+		m.journalErrs.Add(1)
+	}
+}
+
+// acquireScope returns (building on first use) the evaluation scope
+// shared by all jobs with the spec's cache scope, pinned against TTL
+// eviction until the returned release func is called. Construction is
+// deterministic in the spec: data synthesis and grouping draw only on
+// DatasetSeed, so an evicted scope rebuilds to the same folds and the
+// same cache scope key.
+func (m *Manager) acquireScope(spec JobSpec) (*evalScope, func(), error) {
 	key := spec.cacheScope()
 	m.mu.Lock()
-	if sc, ok := m.scopes[key]; ok {
+	if e, ok := m.scopes[key]; ok {
+		e.refs++
 		m.mu.Unlock()
-		return sc, nil
+		return e.scope, m.scopeReleaser(key), nil
 	}
 	m.mu.Unlock()
 
@@ -421,6 +586,38 @@ func (m *Manager) scopeFor(spec JobSpec) (*evalScope, error) {
 	// must not stall the HTTP handlers. A racing duplicate build is
 	// harmless — identical inputs give an identical scope and the loser
 	// is dropped.
+	sc, err := m.buildScope(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.mu.Lock()
+	e, ok := m.scopes[key]
+	if !ok {
+		e = &scopeEntry{scope: sc}
+		m.scopes[key] = e
+	}
+	e.refs++
+	m.mu.Unlock()
+	return e.scope, m.scopeReleaser(key), nil
+}
+
+// scopeReleaser returns the once-only unpin for one acquisition.
+func (m *Manager) scopeReleaser(key string) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			m.mu.Lock()
+			if e, ok := m.scopes[key]; ok {
+				e.refs--
+				e.lastUsed = time.Now()
+			}
+			m.mu.Unlock()
+		})
+	}
+}
+
+// buildScope synthesizes the scope's data, folds and cache.
+func (m *Manager) buildScope(spec JobSpec) (*evalScope, error) {
 	ds, err := dataset.SpecByName(spec.Dataset)
 	if err != nil {
 		return nil, err
@@ -447,21 +644,53 @@ func (m *Manager) scopeFor(spec JobSpec) (*evalScope, error) {
 	base.LearningRateInit = 0.02
 	base.KernelWorkers = m.cfg.KernelWorkers
 	cv := hpo.NewCVEvaluator(train, base, comps)
-	sc := &evalScope{
+	return &evalScope{
 		train: train,
 		test:  test,
 		comps: comps,
 		cv:    cv,
 		cache: evalcache.New(cv, m.cfg.CacheEntries),
+	}, nil
+}
+
+// scopeJanitor periodically sweeps idle scopes. It stops when the
+// manager's base context is cancelled (Shutdown).
+func (m *Manager) scopeJanitor() {
+	tick := m.cfg.ScopeTTL / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
 	}
+	if tick > time.Minute {
+		tick = time.Minute
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case now := <-t.C:
+			m.sweepScopes(now)
+		}
+	}
+}
+
+// sweepScopes evicts every scope with no live reference that has been
+// idle past ScopeTTL, releasing its dataset and fold memory. A scope
+// that was never released (refs > 0, or freshly built) is never taken.
+// Returns how many scopes were evicted.
+func (m *Manager) sweepScopes(now time.Time) int {
 	m.mu.Lock()
-	if existing, ok := m.scopes[key]; ok {
-		sc = existing
-	} else {
-		m.scopes[key] = sc
+	defer m.mu.Unlock()
+	n := 0
+	for key, e := range m.scopes {
+		if e.refs == 0 && !e.lastUsed.IsZero() && now.Sub(e.lastUsed) > m.cfg.ScopeTTL {
+			delete(m.scopes, key)
+			m.scopesEvicted.Add(1)
+			n++
+		}
 	}
-	m.mu.Unlock()
-	return sc, nil
+	return n
 }
 
 // Metrics is the GET /metrics payload.
@@ -472,13 +701,20 @@ type Metrics struct {
 	JobsDone          int     `json:"jobs_done"`
 	JobsFailed        int     `json:"jobs_failed"`
 	JobsCancelled     int     `json:"jobs_cancelled"`
+	PendingDepth      int     `json:"pending_depth"`
+	MaxPending        int     `json:"max_pending"`
+	ShedRequests      int64   `json:"shed_requests"`
 	PoolSize          int     `json:"pool_size"`
 	PoolInUse         int     `json:"pool_in_use"`
 	Evaluations       int64   `json:"evaluations"`
 	EvaluationsPerSec float64 `json:"evaluations_per_sec"`
 	TrialFailures     int64   `json:"trial_failures"`
+	DeadlineExceeded  int64   `json:"deadline_exceeded"`
 	JournalErrors     int64   `json:"journal_errors"`
+	JournalSegments   int     `json:"journal_segments"`
+	JournalBytes      int64   `json:"journal_bytes"`
 	CacheScopes       int     `json:"cache_scopes"`
+	ScopesEvicted     int64   `json:"scopes_evicted"`
 	CacheEntries      int     `json:"cache_entries"`
 	CacheHits         int64   `json:"cache_hits"`
 	CacheMisses       int64   `json:"cache_misses"`
@@ -489,17 +725,27 @@ type Metrics struct {
 func (m *Manager) Metrics() Metrics {
 	uptime := time.Since(m.started).Seconds()
 	out := Metrics{
-		UptimeSec:     uptime,
-		PoolSize:      m.pool.Size(),
-		PoolInUse:     m.pool.InUse(),
-		Evaluations:   m.evals.Load(),
-		TrialFailures: m.trialFailures.Load(),
-		JournalErrors: m.journalErrs.Load(),
+		UptimeSec:        uptime,
+		MaxPending:       m.cfg.MaxPending,
+		ShedRequests:     m.shed.Load(),
+		PoolSize:         m.pool.Size(),
+		PoolInUse:        m.pool.InUse(),
+		Evaluations:      m.evals.Load(),
+		TrialFailures:    m.trialFailures.Load(),
+		DeadlineExceeded: m.deadlineExceeded.Load(),
+		JournalErrors:    m.journalErrs.Load(),
+		ScopesEvicted:    m.scopesEvicted.Load(),
 	}
 	if uptime > 0 {
 		out.EvaluationsPerSec = float64(out.Evaluations) / uptime
 	}
+	if m.cfg.DataDir != "" {
+		js := journal.DirStats(m.cfg.DataDir)
+		out.JournalSegments = js.Segments
+		out.JournalBytes = js.Bytes
+	}
 	m.mu.Lock()
+	out.PendingDepth = m.pending
 	for _, j := range m.jobs {
 		switch j.Status() {
 		case StatusQueued:
@@ -516,8 +762,8 @@ func (m *Manager) Metrics() Metrics {
 	}
 	out.CacheScopes = len(m.scopes)
 	var agg evalcache.Stats
-	for _, sc := range m.scopes {
-		s := sc.cache.Stats()
+	for _, e := range m.scopes {
+		s := e.scope.cache.Stats()
 		agg.Hits += s.Hits
 		agg.Misses += s.Misses
 		agg.Entries += s.Entries

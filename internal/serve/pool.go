@@ -39,15 +39,24 @@ func NewPool(size int) *Pool {
 }
 
 // Acquire blocks until a slot is free or ctx is done, returning ctx's
-// error in the latter case.
+// error in the latter case. When both are ready at once the select may
+// win the slot anyway; the re-check below gives the cancellation
+// priority and hands the slot straight back, so Acquire never returns an
+// error while holding a slot and never returns nil for a context that
+// was already done — the caller's "on error, don't Release" contract
+// cannot leak a slot.
 func (p *Pool) Acquire(ctx context.Context) error {
 	select {
 	case p.slots <- struct{}{}:
-		p.inUse.Add(1)
-		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+	if err := ctx.Err(); err != nil {
+		<-p.slots
+		return err
+	}
+	p.inUse.Add(1)
+	return nil
 }
 
 // Release frees a slot acquired with Acquire.
@@ -74,24 +83,33 @@ func (e *panicError) Error() string {
 	return fmt.Sprintf("evaluation panicked: %v", e.value)
 }
 
+// errEvalDeadline marks an evaluation abandoned by the per-evaluation
+// watchdog: the trial's goroutine may still be running, but its slot is
+// released and its result, if one ever comes, is discarded.
+var errEvalDeadline = errors.New("serve: evaluation exceeded deadline")
+
 // pooledEvaluator gates a job's evaluations through the shared pool,
 // counts them for the service metrics, and isolates the daemon from
 // misbehaving evaluations: panics are recovered into errors, transient
-// failures are retried with a jittered backoff, and definitive failures
-// are charged against the job's failure budget — within budget the trial
-// scores worst-case and the run continues; past it the error surfaces
-// and only that job fails. It carries the job's context so a cancelled
-// job stops waiting for slots immediately.
+// failures are retried with a jittered backoff, a wedged evaluation is
+// abandoned at the deadline so it cannot hold its slot forever, and
+// definitive failures are charged against the job's failure budget —
+// within budget the trial scores worst-case and the run continues; past
+// it the error surfaces and only that job fails. It carries the job's
+// context so a cancelled job stops waiting for slots immediately.
 type pooledEvaluator struct {
 	inner         hpo.Evaluator
 	pool          *Pool
 	ctx           context.Context
 	onEval        func()
 	onFailure     func()
+	onDeadline    func()
+	onLatency     func(time.Duration)
 	job           *Job
 	attempts      int
 	backoff       time.Duration
 	failureBudget int
+	evalTimeout   time.Duration
 }
 
 func (e *pooledEvaluator) FullBudget() int { return e.inner.FullBudget() }
@@ -114,8 +132,12 @@ func (e *pooledEvaluator) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([
 		}
 		// Retrying with the same RNG is sound: evaluators derive their
 		// streams via Split, which never advances r.
+		start := time.Now()
 		scores, err := e.evalOnce(cfg, budget, r)
 		if err == nil {
+			if e.onLatency != nil {
+				e.onLatency(time.Since(start))
+			}
 			if e.onEval != nil {
 				e.onEval()
 			}
@@ -125,6 +147,12 @@ func (e *pooledEvaluator) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([
 			return nil, err
 		}
 		lastErr = err
+		if errors.Is(err, errEvalDeadline) {
+			// A wedged evaluation wedges again on retry (and each retry
+			// would abandon another goroutine): a deadline exceedance is
+			// definitive immediately.
+			break
+		}
 	}
 	if e.onFailure != nil {
 		e.onFailure()
@@ -142,9 +170,44 @@ func (e *pooledEvaluator) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([
 	return nil, fmt.Errorf("serve: evaluation failed after %d attempts: %w", attempts, lastErr)
 }
 
-// evalOnce runs one attempt with recover armor, turning a panicking
+// evalOnce runs one attempt. Without a deadline it calls straight
+// through; with one it runs the attempt in a watchdogged goroutine and
+// abandons it — slot released by the caller, result discarded via the
+// buffered channel — once the deadline or the job's context fires. The
+// abandoned goroutine only touches concurrency-safe state (the
+// evaluation cache, and an RNG it reads via non-advancing Splits), so it
+// can finish (or sleep) harmlessly in the background.
+func (e *pooledEvaluator) evalOnce(cfg search.Config, budget int, r *rng.RNG) ([]float64, error) {
+	if e.evalTimeout <= 0 {
+		return e.evalDirect(cfg, budget, r)
+	}
+	type outcome struct {
+		scores []float64
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		scores, err := e.evalDirect(cfg, budget, r)
+		ch <- outcome{scores, err}
+	}()
+	t := time.NewTimer(e.evalTimeout)
+	defer t.Stop()
+	select {
+	case out := <-ch:
+		return out.scores, out.err
+	case <-t.C:
+		if e.onDeadline != nil {
+			e.onDeadline()
+		}
+		return nil, fmt.Errorf("%w (%s)", errEvalDeadline, e.evalTimeout)
+	case <-e.ctx.Done():
+		return nil, e.ctx.Err()
+	}
+}
+
+// evalDirect runs one attempt with recover armor, turning a panicking
 // evaluation into an error instead of killing the daemon.
-func (e *pooledEvaluator) evalOnce(cfg search.Config, budget int, r *rng.RNG) (scores []float64, err error) {
+func (e *pooledEvaluator) evalDirect(cfg search.Config, budget int, r *rng.RNG) (scores []float64, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = &panicError{value: v, stack: debug.Stack()}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolAcquireCancelRace is the regression for the acquire/cancel
+// race: when a context is cancelled concurrently with acquisition, the
+// select inside Acquire can win the slot even though the context is
+// already done. Acquire must hand that slot straight back and report the
+// cancellation — it may never return an error while holding a slot, nor
+// strand a slot the caller was told it did not get. Run under -race via
+// make check.
+func TestPoolAcquireCancelRace(t *testing.T) {
+	p := NewPool(2)
+	var wg sync.WaitGroup
+	for i := 0; i < 400; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			// Cancel on a sibling goroutine so it lands before, during
+			// and after the slot send across iterations.
+			go cancel()
+			if err := p.Acquire(ctx); err == nil {
+				p.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("%d slots still counted in use after churn", got)
+	}
+	// Every slot must still be acquirable; a leaked slot makes this time
+	// out instead of hanging the suite.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < p.Size(); i++ {
+		if err := p.Acquire(ctx); err != nil {
+			t.Fatalf("slot %d unacquirable after churn: %v (leaked by a cancelled Acquire)", i, err)
+		}
+	}
+	if got := p.InUse(); got != p.Size() {
+		t.Fatalf("InUse %d after acquiring all %d slots", got, p.Size())
+	}
+	for i := 0; i < p.Size(); i++ {
+		p.Release()
+	}
+}
+
+// TestPoolAcquirePreCancelled: a context that is already done must never
+// acquire, even though the select could otherwise pick the slot case.
+func TestPoolAcquirePreCancelled(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 200; i++ {
+		if err := p.Acquire(ctx); err == nil {
+			t.Fatal("pre-cancelled context acquired a slot")
+		}
+	}
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("InUse %d after refused acquires", got)
+	}
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatalf("pool unusable after refused acquires: %v", err)
+	}
+	p.Release()
+}

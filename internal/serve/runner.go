@@ -19,10 +19,13 @@ func (m *Manager) run(ctx context.Context, job *Job, cancel context.CancelFunc) 
 	defer cancel()
 
 	// Queued until a job slot frees up (MaxJobs gate); cancellation while
-	// queued never touches the pool.
+	// queued never touches the pool. Either way the job stops counting
+	// against the admission (pending) queue here.
 	select {
 	case m.jobSlots <- struct{}{}:
+		m.decPending()
 	case <-ctx.Done():
+		m.decPending()
 		m.finish(job, nil, nil, ctx.Err())
 		return
 	}
@@ -35,11 +38,14 @@ func (m *Manager) run(ctx context.Context, job *Job, cancel context.CancelFunc) 
 	job.mu.Unlock()
 	m.journalStatus(job, StatusRunning, started)
 
-	scope, err := m.scopeFor(job.Spec)
+	// The scope stays pinned (TTL eviction cannot take it) until the
+	// runner is done with it — finish() reads scope.cv and scope.test.
+	scope, release, err := m.acquireScope(job.Spec)
 	if err != nil {
 		m.finish(job, nil, nil, err)
 		return
 	}
+	defer release()
 	res, err := m.optimize(ctx, job, scope)
 	m.finish(job, scope, res, err)
 }
@@ -60,15 +66,21 @@ func (m *Manager) optimize(ctx context.Context, job *Job, scope *evalScope) (*hp
 		inner = m.cfg.WrapEvaluator(job.ID, inner)
 	}
 	ev := &pooledEvaluator{
-		inner:         inner,
-		pool:          m.pool,
-		ctx:           ctx,
-		onEval:        func() { m.evals.Add(1) },
-		onFailure:     func() { m.trialFailures.Add(1) },
+		inner:     inner,
+		pool:      m.pool,
+		ctx:       ctx,
+		onEval:    func() { m.evals.Add(1) },
+		onFailure: func() { m.trialFailures.Add(1) },
+		onDeadline: func() {
+			m.deadlineExceeded.Add(1)
+			m.journalEvent(job, ReasonDeadline)
+		},
+		onLatency:     m.observeEvalLatency,
 		job:           job,
 		attempts:      m.cfg.EvalAttempts,
 		backoff:       m.cfg.RetryBackoff,
 		failureBudget: m.cfg.FailureBudget,
+		evalTimeout:   m.cfg.EvalTimeout,
 	}
 	workers := spec.Workers
 	if workers <= 0 {

@@ -2,19 +2,24 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
 
 // Server exposes a Manager over HTTP/JSON.
 //
-//	POST   /jobs        submit a JobSpec, returns the queued job snapshot
+//	POST   /jobs        submit a JobSpec, returns the queued job snapshot;
+//	                    429 + Retry-After when the pending queue is full,
+//	                    503 while draining
 //	GET    /jobs        list all jobs (snapshots without curves)
 //	GET    /jobs/{id}   one job's status + live anytime curve
 //	DELETE /jobs/{id}   cancel a job (idempotent on terminal jobs)
-//	GET    /healthz     liveness probe (reports draining)
+//	GET    /healthz     liveness/readiness probe (ok|overloaded|draining)
 //	GET    /metrics     service counters (jobs, pool, cache, eval rate)
 type Server struct {
 	manager  *Manager
@@ -76,11 +81,40 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, err := s.manager.Submit(spec)
+	if errors.Is(err, ErrOverloaded) {
+		// Shed load instead of queueing unboundedly. Retry-After is
+		// priced from the observed evaluation latency EWMA and the queue
+		// depth, so clients back off proportionally to the actual
+		// backlog.
+		secs := retryAfterSeconds(s.manager.RetryAfter())
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, overloadBody{
+			Error:         err.Error(),
+			RetryAfterSec: secs,
+		})
+		return
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+// overloadBody is the 429 payload: the error plus the same retry hint as
+// the Retry-After header, for clients that only read bodies.
+type overloadBody struct {
+	Error         string `json:"error"`
+	RetryAfterSec int    `json:"retry_after_sec"`
+}
+
+// retryAfterSeconds renders a positive whole-second Retry-After value.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
@@ -123,18 +157,27 @@ func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
 }
 
 type healthBody struct {
-	Status    string  `json:"status"`
-	UptimeSec float64 `json:"uptime_sec"`
+	// Status is ok, overloaded (pending queue full, POST /jobs shedding
+	// with 429) or draining (shutting down, POST /jobs refused with 503).
+	Status     string  `json:"status"`
+	UptimeSec  float64 `json:"uptime_sec"`
+	Pending    int     `json:"pending"`
+	MaxPending int     `json:"max_pending"`
 }
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
-	if s.draining.Load() {
+	switch {
+	case s.draining.Load():
 		status = "draining"
+	case s.manager.Overloaded():
+		status = "overloaded"
 	}
 	writeJSON(w, http.StatusOK, healthBody{
-		Status:    status,
-		UptimeSec: time.Since(s.manager.started).Seconds(),
+		Status:     status,
+		UptimeSec:  time.Since(s.manager.started).Seconds(),
+		Pending:    s.manager.PendingDepth(),
+		MaxPending: s.manager.cfg.MaxPending,
 	})
 }
 
