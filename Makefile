@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check crash chaos bench bench-smoke fmt serve clean
+.PHONY: all build test race vet check crash chaos bench bench-smoke bench-multicore fmt serve clean
 
 # The kernel/Fit benchmark family captured in BENCH_kernels.json.
 BENCH_PATTERN = BenchmarkMat|BenchmarkFit
@@ -41,6 +41,14 @@ chaos:
 # Writes BENCH_kernels.json (ns/op, B/op, allocs/op per benchmark).
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_kernels.json
+
+# Same benchmark family swept across GOMAXPROCS 1/2/4 (benchmark names
+# gain -2/-4 suffixes), recording the row-parallel kernel path. Writes
+# BENCH_kernels_multicore.json. Note: on a single-CPU container this
+# measures the parallel code path under GOMAXPROCS oversubscription, not
+# true hardware scaling.
+bench-multicore:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -cpu 1,2,4 . | $(GO) run ./cmd/benchjson -out BENCH_kernels_multicore.json
 
 # One-iteration smoke run so the benchmarks can never rot; part of check.
 bench-smoke:

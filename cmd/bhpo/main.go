@@ -9,17 +9,20 @@
 //	     [-scale 0.35] [-seed 1] [-iters 20] [-f1]
 //
 // Datasets: australian splice gisette machine nticusdroid a9a fraud
-// credit2023 satimage usps molecules kc-house. Methods: random sha
-// hyperband bohb asha.
+// credit2023 satimage usps molecules kc-house. Methods: every optimizer in
+// the hpo registry — random sha hyperband (alias hb) bohb asha pasha dehb
+// smac tpe (alias optuna) grid.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"enhancedbhpo/internal/core"
 	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/hpo"
 	"enhancedbhpo/internal/nn"
 	"enhancedbhpo/internal/rng"
 	"enhancedbhpo/internal/search"
@@ -31,11 +34,11 @@ func main() {
 		dsName   = flag.String("dataset", "australian", "simulated dataset name")
 		csvPath  = flag.String("csv", "", "optional CSV file (last column = label/target) used instead of -dataset")
 		csvKind  = flag.String("kind", "classification", "task kind for -csv: classification or regression")
-		method   = flag.String("method", "sha", "optimizer: random, sha, hyperband, bohb, asha")
+		method   = flag.String("method", "sha", "optimizer: "+strings.Join(hpo.MethodNames(), ", "))
 		enhanced = flag.Bool("enhanced", false, "use the paper's enhanced components (grouping, general+special folds, UCB-β score)")
 		hps      = flag.Int("hps", 4, "number of Table III hyperparameters (1-8)")
 		spaceP   = flag.String("space", "", "optional JSON file defining a custom search space (overrides -hps)")
-		configs  = flag.Int("configs", 162, "max configurations (SHA)")
+		configs  = flag.Int("configs", 162, "max configurations (sha/asha/pasha start set, grid cap)")
 		scale    = flag.Float64("scale", 0.35, "dataset scale factor")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		iters    = flag.Int("iters", 20, "MLP training epochs")

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,59 +48,42 @@ const (
 	Grid
 )
 
-// String implements fmt.Stringer.
-func (m Method) String() string {
-	switch m {
-	case Random:
-		return "random"
-	case SHA:
-		return "sha"
-	case Hyperband:
-		return "hyperband"
-	case BOHB:
-		return "bohb"
-	case ASHA:
-		return "asha"
-	case PASHA:
-		return "pasha"
-	case DEHB:
-		return "dehb"
-	case SMAC:
-		return "smac"
-	case TPE:
-		return "tpe"
-	case Grid:
-		return "grid"
-	default:
-		return fmt.Sprintf("Method(%d)", int(m))
-	}
+// methodNames maps the enum to the hpo registry's canonical method names.
+var methodNames = [...]string{
+	Random:    "random",
+	SHA:       "sha",
+	Hyperband: "hyperband",
+	BOHB:      "bohb",
+	ASHA:      "asha",
+	PASHA:     "pasha",
+	DEHB:      "dehb",
+	SMAC:      "smac",
+	TPE:       "tpe",
+	Grid:      "grid",
 }
 
-// ParseMethod converts a method name used by the CLI tools.
-func ParseMethod(s string) (Method, error) {
-	switch s {
-	case "random":
-		return Random, nil
-	case "sha":
-		return SHA, nil
-	case "hyperband", "hb":
-		return Hyperband, nil
-	case "bohb":
-		return BOHB, nil
-	case "asha":
-		return ASHA, nil
-	case "pasha":
-		return PASHA, nil
-	case "dehb":
-		return DEHB, nil
-	case "smac":
-		return SMAC, nil
-	case "tpe", "optuna":
-		return TPE, nil
-	case "grid":
-		return Grid, nil
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	if m >= 0 && int(m) < len(methodNames) {
+		return methodNames[m]
 	}
-	return 0, fmt.Errorf("core: unknown method %q", s)
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// ParseMethod converts a method name used by the CLI tools. Registry
+// aliases ("hb", "optuna") are accepted and resolve to the canonical
+// method.
+func ParseMethod(s string) (Method, error) {
+	canonical, ok := hpo.CanonicalName(s)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown method %q", s)
+	}
+	for m, name := range methodNames {
+		if name == canonical {
+			return Method(m), nil
+		}
+	}
+	return 0, fmt.Errorf("core: method %q is registered but has no core enum value", canonical)
 }
 
 // Variant selects vanilla or paper-enhanced components.
@@ -149,8 +133,10 @@ type Options struct {
 	TPE    hpo.TPEOptions
 	Grid   hpo.GridSearchOptions
 	Random hpo.RandomSearchOptions
-	// MaxConfigs caps how many configurations SHA starts from (0 = whole
-	// space, matching the paper's 162-configuration setting).
+	// MaxConfigs caps how many configurations are considered by methods
+	// that honor it (SHA start set, ASHA/PASHA samples, grid cap); 0 =
+	// whole space / method default. A non-zero per-method block setting
+	// wins.
 	MaxConfigs int
 	// UseF1 scores classification folds (and the final model) by F1.
 	UseF1 bool
@@ -177,6 +163,13 @@ type Outcome struct {
 
 // Run optimizes hyperparameters on train and reports final quality on test.
 func Run(train, test *dataset.Dataset, opts Options) (*Outcome, error) {
+	return RunCtx(context.Background(), train, test, opts)
+}
+
+// RunCtx is Run with cancellation: every registered method stops before
+// starting another evaluation once ctx is cancelled and returns ctx's
+// error.
+func RunCtx(ctx context.Context, train, test *dataset.Dataset, opts Options) (*Outcome, error) {
 	if opts.Space == nil {
 		return nil, fmt.Errorf("core: Options.Space is required")
 	}
@@ -209,59 +202,28 @@ func Run(train, test *dataset.Dataset, opts Options) (*Outcome, error) {
 	ev := hpo.NewCVEvaluator(train, base, comps)
 	ev.UseF1 = opts.UseF1
 
-	var res *hpo.Result
-	var err error
-	switch opts.Method {
-	case Random:
-		o := opts.Random
-		o.Seed = opts.Seed
-		res, err = hpo.RandomSearch(opts.Space, ev, comps, o)
-	case SHA:
-		o := opts.SHA
-		o.Seed = opts.Seed
-		configs := opts.Space.Enumerate()
-		if opts.MaxConfigs > 0 && opts.MaxConfigs < len(configs) {
-			configs = opts.Space.SampleN(root.Split(2), opts.MaxConfigs)
-		}
-		res, err = hpo.SuccessiveHalving(configs, ev, comps, o)
-	case Hyperband:
-		o := opts.HB
-		o.Seed = opts.Seed
-		res, err = hpo.Hyperband(opts.Space, ev, comps, o)
-	case BOHB:
-		o := opts.BOHB
-		o.Hyperband.Seed = opts.Seed
-		res, err = hpo.BOHB(opts.Space, ev, comps, o)
-	case ASHA:
-		o := opts.ASHA
-		o.Seed = opts.Seed
-		res, err = hpo.ASHA(opts.Space, ev, comps, o)
-	case PASHA:
-		o := opts.PASHA
-		o.Seed = opts.Seed
-		res, err = hpo.PASHA(opts.Space, ev, comps, o)
-	case DEHB:
-		o := opts.DEHB
-		o.Hyperband.Seed = opts.Seed
-		res, err = hpo.DEHB(opts.Space, ev, comps, o)
-	case SMAC:
-		o := opts.SMAC
-		o.Seed = opts.Seed
-		res, err = hpo.SMAC(opts.Space, ev, comps, o)
-	case TPE:
-		o := opts.TPE
-		o.Seed = opts.Seed
-		res, err = hpo.TPE(opts.Space, ev, comps, o)
-	case Grid:
-		o := opts.Grid
-		o.Seed = opts.Seed
-		if o.MaxConfigs == 0 {
-			o.MaxConfigs = opts.MaxConfigs
-		}
-		res, err = hpo.GridSearch(opts.Space, ev, comps, o)
-	default:
+	// Dispatch through the hpo registry — the same code path the job
+	// service uses, so CLI runs and served jobs are provably identical for
+	// a given seed. The per-method blocks ride along untouched; shared
+	// knobs (Seed, MaxConfigs) fill block fields left at zero.
+	method, ok := hpo.LookupMethod(opts.Method.String())
+	if !ok {
 		return nil, fmt.Errorf("core: unknown method %v", opts.Method)
 	}
+	res, err := method.Run(ctx, opts.Space, ev, comps, hpo.RunOptions{
+		Seed:       opts.Seed,
+		MaxConfigs: opts.MaxConfigs,
+		SHA:        opts.SHA,
+		HB:         opts.HB,
+		BOHB:       opts.BOHB,
+		ASHA:       opts.ASHA,
+		PASHA:      opts.PASHA,
+		DEHB:       opts.DEHB,
+		SMAC:       opts.SMAC,
+		TPE:        opts.TPE,
+		Grid:       opts.Grid,
+		Random:     opts.Random,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", opts.Method, err)
 	}

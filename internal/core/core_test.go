@@ -1,9 +1,11 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/hpo"
 	"enhancedbhpo/internal/nn"
 	"enhancedbhpo/internal/search"
 )
@@ -211,5 +213,41 @@ func TestRunDeterministicBest(t *testing.T) {
 	}
 	if o1.TestScore != o2.TestScore {
 		t.Fatal("same seed produced different test scores")
+	}
+}
+
+// TestMethodEnumMatchesRegistry requires the core Method enum and the hpo
+// registry to cover exactly the same method set: every enum value resolves
+// to a registered method, every registered name (and alias) parses, and
+// nothing else does.
+func TestMethodEnumMatchesRegistry(t *testing.T) {
+	registered := hpo.MethodNames()
+	fromEnum := map[string]bool{}
+	for m := Method(0); ; m++ {
+		name := m.String()
+		if strings.HasPrefix(name, "Method(") {
+			break
+		}
+		fromEnum[name] = true
+		if _, ok := hpo.LookupMethod(name); !ok {
+			t.Errorf("enum method %s has no registry entry", name)
+		}
+		if parsed, err := ParseMethod(name); err != nil || parsed != m {
+			t.Errorf("ParseMethod(%q) = %v, %v; want %v", name, parsed, err, m)
+		}
+	}
+	if len(fromEnum) != len(registered) {
+		t.Errorf("enum covers %d methods, registry has %d (%v)", len(fromEnum), len(registered), registered)
+	}
+	for _, name := range registered {
+		if !fromEnum[name] {
+			t.Errorf("registered method %q missing from the core enum", name)
+		}
+	}
+	// Aliases parse to the canonical method.
+	for alias, want := range map[string]Method{"hb": Hyperband, "optuna": TPE} {
+		if m, err := ParseMethod(alias); err != nil || m != want {
+			t.Errorf("ParseMethod(%q) = %v, %v; want %v", alias, m, err, want)
+		}
 	}
 }

@@ -83,18 +83,32 @@ func (c *countingEvaluator) Evaluate(cfg search.Config, budget int, r *rng.RNG) 
 }
 
 // TestCtxCancellationStopsOptimizers cancels a context mid-run and checks
-// that every Ctx variant returns context.Canceled and stops evaluating
-// promptly (within one in-flight evaluation per worker).
+// that every registered method returns context.Canceled and stops
+// evaluating promptly (within one in-flight evaluation per worker). The
+// table is the registry itself, so a newly registered method is covered
+// automatically.
 func TestCtxCancellationStopsOptimizers(t *testing.T) {
 	space, quality := gradedSpace()
-	run := func(name string, workers int, f func(ctx context.Context, ev Evaluator) error) {
-		t.Run(name, func(t *testing.T) {
+	for i, info := range Methods() {
+		seed := uint64(i + 1)
+		workers := 1
+		opts := RunOptions{Seed: seed}
+		if info.HonorsWorkers {
+			workers = 4
+			opts.Workers = workers
+		}
+		method, ok := LookupMethod(info.Name)
+		if !ok {
+			t.Fatalf("Methods() lists %q but LookupMethod misses it", info.Name)
+		}
+		t.Run(info.Name, func(t *testing.T) {
 			inner := &fakeEvaluator{space: space, full: 1600, quality: quality, noise: 0.001}
 			ev := &countingEvaluator{inner: inner}
 			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
 			const stopAfter = 3
 			hook := &cancelAfter{n: stopAfter, cancel: cancel, ev: ev}
-			err := f(ctx, hook)
+			_, err := method.Run(ctx, space, hook, vanComps(), opts)
 			if !errors.Is(err, context.Canceled) {
 				t.Fatalf("got error %v, want context.Canceled", err)
 			}
@@ -105,31 +119,48 @@ func TestCtxCancellationStopsOptimizers(t *testing.T) {
 			}
 		})
 	}
+}
 
-	run("sha", 1, func(ctx context.Context, ev Evaluator) error {
-		_, err := SuccessiveHalvingCtx(ctx, space.Enumerate(), ev, vanComps(), SHAOptions{Seed: 1})
-		return err
-	})
-	run("sha-parallel", 4, func(ctx context.Context, ev Evaluator) error {
-		_, err := SuccessiveHalvingCtx(ctx, space.Enumerate(), ev, vanComps(), SHAOptions{Seed: 1, Workers: 4})
-		return err
-	})
-	run("hyperband", 1, func(ctx context.Context, ev Evaluator) error {
-		_, err := HyperbandCtx(ctx, space, ev, vanComps(), HyperbandOptions{Eta: 3, MinBudget: 50, Seed: 2})
-		return err
-	})
-	run("bohb", 1, func(ctx context.Context, ev Evaluator) error {
-		_, err := BOHBCtx(ctx, space, ev, vanComps(), BOHBOptions{
-			Hyperband: HyperbandOptions{Eta: 3, MinBudget: 50, Seed: 3},
+// TestSeedDeterminism runs every registered method twice with the same
+// seed and requires the identical best configuration, best score and
+// evaluation set — the registry contract that makes CLI and served runs
+// reproducible.
+func TestSeedDeterminism(t *testing.T) {
+	space, quality := gradedSpace()
+	for _, info := range Methods() {
+		method, _ := LookupMethod(info.Name)
+		t.Run(info.Name, func(t *testing.T) {
+			opts := RunOptions{Seed: 7}
+			if info.HonorsWorkers {
+				// Determinism must also hold across scheduling, so the
+				// repeat run uses a different worker count.
+				opts.Workers = 1
+			}
+			runOnce := func(o RunOptions) *Result {
+				ev := &fakeEvaluator{space: space, full: 1600, quality: quality, noise: 0.001}
+				res, err := method.Run(context.Background(), space, ev, vanComps(), o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			first := runOnce(opts)
+			repeatOpts := opts
+			if info.HonorsWorkers {
+				repeatOpts.Workers = 4
+			}
+			repeat := runOnce(repeatOpts)
+			if first.Best.ID() != repeat.Best.ID() {
+				t.Fatalf("same seed picked %s then %s", first.Best.ID(), repeat.Best.ID())
+			}
+			if first.BestScore != repeat.BestScore {
+				t.Fatalf("same seed scored %v then %v", first.BestScore, repeat.BestScore)
+			}
+			if got, want := trialKeys(repeat), trialKeys(first); !equalStrings(got, want) {
+				t.Fatalf("same seed evaluated different sets:\n first:  %v\n repeat: %v", want, got)
+			}
 		})
-		return err
-	})
-	run("asha", 4, func(ctx context.Context, ev Evaluator) error {
-		_, err := ASHACtx(ctx, space, ev, vanComps(), ASHAOptions{
-			Eta: 2, MinBudget: 100, MaxConfigs: 16, Workers: 4, Seed: 4,
-		})
-		return err
-	})
+	}
 }
 
 // cancelAfter cancels the context when the n-th evaluation starts.
@@ -149,18 +180,18 @@ func (c *cancelAfter) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([]flo
 }
 
 // TestPreCancelledCtx verifies that an already-cancelled context aborts
-// before any evaluation runs.
+// every registered method before any evaluation runs.
 func TestPreCancelledCtx(t *testing.T) {
 	space, quality := gradedSpace()
 	inner := &fakeEvaluator{space: space, full: 1600, quality: quality, noise: 0.001}
 	ev := &countingEvaluator{inner: inner}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := ASHACtx(ctx, space, ev, vanComps(), ASHAOptions{MinBudget: 100, MaxConfigs: 8, Seed: 1}); !errors.Is(err, context.Canceled) {
-		t.Fatalf("ASHA: got %v", err)
-	}
-	if _, err := SuccessiveHalvingCtx(ctx, space.Enumerate(), ev, vanComps(), SHAOptions{Seed: 1}); !errors.Is(err, context.Canceled) {
-		t.Fatalf("SHA: got %v", err)
+	for _, info := range Methods() {
+		method, _ := LookupMethod(info.Name)
+		if _, err := method.Run(ctx, space, ev, vanComps(), RunOptions{Seed: 1}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: got %v, want context.Canceled", info.Name, err)
+		}
 	}
 	if got := ev.calls.Load(); got != 0 {
 		t.Fatalf("pre-cancelled context still ran %d evaluations", got)

@@ -26,6 +26,12 @@ type DEHBOptions struct {
 // evaluated ones via rand-to-best/1 differential evolution adapted to
 // categorical dimensions (index arithmetic modulo the value count).
 func DEHB(space *search.Space, ev Evaluator, comps Components, opts DEHBOptions) (*Result, error) {
+	return DEHBCtx(context.Background(), space, ev, comps, opts)
+}
+
+// DEHBCtx is DEHB with cancellation: when ctx is cancelled or times out the
+// run stops before starting another evaluation and returns ctx's error.
+func DEHBCtx(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts DEHBOptions) (*Result, error) {
 	comps = comps.withDefaults()
 	if err := validateRun(space, comps); err != nil {
 		return nil, err
@@ -113,9 +119,21 @@ func DEHB(space *search.Space, ev Evaluator, comps Components, opts DEHBOptions)
 			archive[id] = entry{cfg: cfg, score: score}
 		}
 	}
-	res, err := runBrackets(context.Background(), "dehb", ev, comps, hb, root, provider, observe)
+	res, err := runBrackets(ctx, "dehb", ev, comps, hb, root, provider, observe)
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+func init() {
+	RegisterFunc(MethodInfo{
+		Name:        "dehb",
+		Description: "Hyperband brackets with differential-evolution proposals over the evaluation archive (Awad et al. 2021)",
+		BudgetAware: true,
+	}, func(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts RunOptions) (*Result, error) {
+		o := opts.DEHB
+		o.Hyperband.Seed = opts.Seed
+		return DEHBCtx(ctx, space, ev, comps, o)
+	})
 }

@@ -1,6 +1,7 @@
 package hpo
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -130,6 +131,32 @@ func evalTrial(ev Evaluator, comps Components, cfg search.Config, budget, round 
 		comps.Observe(t)
 	}
 	return t, nil
+}
+
+// evalSequential is the shared trial loop of the full-budget baselines
+// (random, grid): every configuration is evaluated once at full budget,
+// ctx is honored between trials, and the best by score is recorded on res.
+// Per-trial RNG streams are root.Split(trialTag(0, i)) — identical to the
+// historical per-method loops, so results are bit-for-bit unchanged.
+func evalSequential(ctx context.Context, ev Evaluator, comps Components, configs []search.Config, root *rng.RNG, res *Result) error {
+	budget := ev.FullBudget()
+	best := -1
+	for i, cfg := range configs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tr, err := evalTrial(ev, comps, cfg, budget, 0, root.Split(trialTag(0, i)))
+		if err != nil {
+			return err
+		}
+		res.Trials = append(res.Trials, tr)
+		if best < 0 || tr.Score > res.Trials[best].Score {
+			best = i
+		}
+	}
+	res.Best = res.Trials[best].Config
+	res.BestScore = res.Trials[best].Score
+	return nil
 }
 
 func gammaOf(budget, full int) float64 {

@@ -1,6 +1,7 @@
 package hpo
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,6 +24,13 @@ type GridSearchOptions struct {
 
 // GridSearch evaluates the (possibly capped) full grid at full budget.
 func GridSearch(space *search.Space, ev Evaluator, comps Components, opts GridSearchOptions) (*Result, error) {
+	return GridSearchCtx(context.Background(), space, ev, comps, opts)
+}
+
+// GridSearchCtx is GridSearch with cancellation: when ctx is cancelled or
+// times out the run stops before starting another evaluation and returns
+// ctx's error.
+func GridSearchCtx(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts GridSearchOptions) (*Result, error) {
 	comps = comps.withDefaults()
 	if err := validateRun(space, comps); err != nil {
 		return nil, err
@@ -37,21 +45,25 @@ func GridSearch(space *search.Space, ev Evaluator, comps Components, opts GridSe
 	}
 	start := time.Now()
 	res := &Result{Method: "grid"}
-	budget := ev.FullBudget()
-	best := -1
-	for i, cfg := range configs {
-		tr, err := evalTrial(ev, comps, cfg, budget, 0, root.Split(trialTag(0, i)))
-		if err != nil {
-			return nil, err
-		}
-		res.Trials = append(res.Trials, tr)
-		if best < 0 || tr.Score > res.Trials[best].Score {
-			best = i
-		}
+	if err := evalSequential(ctx, ev, comps, configs, root, res); err != nil {
+		return nil, err
 	}
-	res.Best = res.Trials[best].Config
-	res.BestScore = res.Trials[best].Score
 	res.Evaluations = len(res.Trials)
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+func init() {
+	RegisterFunc(MethodInfo{
+		Name:             "grid",
+		Description:      "exhaustive (optionally subsampled) grid, every trial at full budget",
+		HonorsMaxConfigs: true,
+	}, func(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts RunOptions) (*Result, error) {
+		o := opts.Grid
+		o.Seed = opts.Seed
+		if o.MaxConfigs == 0 {
+			o.MaxConfigs = opts.MaxConfigs
+		}
+		return GridSearchCtx(ctx, space, ev, comps, o)
+	})
 }

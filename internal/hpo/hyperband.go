@@ -64,6 +64,19 @@ func HyperbandCtx(ctx context.Context, space *search.Space, ev Evaluator, comps 
 	return runBrackets(ctx, "hyperband", ev, comps, opts, root, provider, nil)
 }
 
+func init() {
+	RegisterFunc(MethodInfo{
+		Name:        "hyperband",
+		Aliases:     []string{"hb"},
+		Description: "bracket schedule over successive halving, trading breadth at small budgets against depth at large ones",
+		BudgetAware: true,
+	}, func(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts RunOptions) (*Result, error) {
+		o := opts.HB
+		o.Seed = opts.Seed
+		return HyperbandCtx(ctx, space, ev, comps, o)
+	})
+}
+
 // runBrackets is the shared Hyperband/BOHB engine.
 func runBrackets(ctx context.Context, method string, ev Evaluator, comps Components, opts HyperbandOptions, root *rng.RNG, provide configProvider, observe observer) (*Result, error) {
 	start := time.Now()

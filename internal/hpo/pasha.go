@@ -1,6 +1,7 @@
 package hpo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -49,6 +50,12 @@ func (o PASHAOptions) withDefaults(k, spaceSize int) PASHAOptions {
 // between the two highest rungs (soft-rank instability), up to the full
 // budget.
 func PASHA(space *search.Space, ev Evaluator, comps Components, opts PASHAOptions) (*Result, error) {
+	return PASHACtx(context.Background(), space, ev, comps, opts)
+}
+
+// PASHACtx is PASHA with cancellation: when ctx is cancelled or times out
+// the run stops before starting another evaluation and returns ctx's error.
+func PASHACtx(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts PASHAOptions) (*Result, error) {
 	comps = comps.withDefaults()
 	if err := validateRun(space, comps); err != nil {
 		return nil, err
@@ -85,6 +92,9 @@ func PASHA(space *search.Space, ev Evaluator, comps Components, opts PASHAOption
 	}
 
 	evalAt := func(cfg search.Config, cfgIdx, rung int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		tr, err := evalTrial(ev, comps, cfg, budgetOf(rung), rung, root.Split(uint64(cfgIdx)*167+uint64(rung)+3))
 		if err != nil {
 			return err
@@ -133,6 +143,22 @@ func PASHA(space *search.Space, ev Evaluator, comps Components, opts PASHAOption
 	res.Evaluations = len(res.Trials)
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+func init() {
+	RegisterFunc(MethodInfo{
+		Name:             "pasha",
+		Description:      "progressive ASHA: the rung ladder grows only while the top ranking is unstable (Bohdal et al. 2023)",
+		BudgetAware:      true,
+		HonorsMaxConfigs: true,
+	}, func(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts RunOptions) (*Result, error) {
+		o := opts.PASHA
+		o.Seed = opts.Seed
+		if o.MaxConfigs == 0 {
+			o.MaxConfigs = opts.MaxConfigs
+		}
+		return PASHACtx(ctx, space, ev, comps, o)
+	})
 }
 
 // rankingStable reports whether the leader at the higher rung is also the

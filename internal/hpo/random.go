@@ -1,6 +1,7 @@
 package hpo
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,6 +22,13 @@ type RandomSearchOptions struct {
 // and returns the best by the components' scorer — the "random" baseline of
 // Table IV.
 func RandomSearch(space *search.Space, ev Evaluator, comps Components, opts RandomSearchOptions) (*Result, error) {
+	return RandomSearchCtx(context.Background(), space, ev, comps, opts)
+}
+
+// RandomSearchCtx is RandomSearch with cancellation: when ctx is cancelled
+// or times out the run stops before starting another evaluation and returns
+// ctx's error.
+func RandomSearchCtx(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts RandomSearchOptions) (*Result, error) {
 	comps = comps.withDefaults()
 	if err := validateRun(space, comps); err != nil {
 		return nil, err
@@ -35,21 +43,25 @@ func RandomSearch(space *search.Space, ev Evaluator, comps Components, opts Rand
 	if len(configs) == 0 {
 		return nil, fmt.Errorf("hpo: random search sampled no configurations")
 	}
-	budget := ev.FullBudget()
-	best := -1
-	for i, cfg := range configs {
-		tr, err := evalTrial(ev, comps, cfg, budget, 0, root.Split(trialTag(0, i)))
-		if err != nil {
-			return nil, err
-		}
-		res.Trials = append(res.Trials, tr)
-		if best < 0 || tr.Score > res.Trials[best].Score {
-			best = i
-		}
+	if err := evalSequential(ctx, ev, comps, configs, root, res); err != nil {
+		return nil, err
 	}
-	res.Best = res.Trials[best].Config
-	res.BestScore = res.Trials[best].Score
 	res.Evaluations = len(res.Trials)
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+func init() {
+	RegisterFunc(MethodInfo{
+		Name:         "random",
+		Description:  "uniform random sampling, every trial at full budget (Table IV baseline)",
+		HonorsTrials: true,
+	}, func(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts RunOptions) (*Result, error) {
+		o := opts.Random
+		o.Seed = opts.Seed
+		if o.N == 0 {
+			o.N = opts.Trials
+		}
+		return RandomSearchCtx(ctx, space, ev, comps, o)
+	})
 }

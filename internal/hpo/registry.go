@@ -1,0 +1,174 @@
+package hpo
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"enhancedbhpo/internal/search"
+)
+
+// RunOptions is the method-agnostic option surface of the registry. The
+// shared knobs (Seed, Workers, MaxConfigs, Trials) apply to every method
+// that declares the matching capability; the per-method blocks carry the
+// full option structs for callers (core.Run) that tune methods directly.
+//
+// Precedence: Seed always overrides the per-method seeds, exactly as
+// core.Run has always done. The other shared knobs only fill per-method
+// fields left at zero — a non-zero block setting wins — so existing tuned
+// callers keep bit-identical behavior.
+type RunOptions struct {
+	// Seed drives sampling and training; it overrides the per-method seeds.
+	Seed uint64
+	// Workers is the evaluation-goroutine count for methods with
+	// HonorsWorkers. 0 selects the method default.
+	Workers int
+	// MaxConfigs caps the configurations considered by methods with
+	// HonorsMaxConfigs. 0 selects the method default (or the whole space).
+	MaxConfigs int
+	// Trials is the evaluation count for full-budget methods with
+	// HonorsTrials. 0 selects the method default.
+	Trials int
+
+	// Per-method option blocks; zero values select each method's defaults.
+	SHA    SHAOptions
+	HB     HyperbandOptions
+	BOHB   BOHBOptions
+	ASHA   ASHAOptions
+	PASHA  PASHAOptions
+	DEHB   DEHBOptions
+	SMAC   SMACOptions
+	TPE    TPEOptions
+	Grid   GridSearchOptions
+	Random RandomSearchOptions
+}
+
+// MethodInfo describes a registered optimizer: its canonical name, accepted
+// aliases, and which shared RunOptions knobs it honors. Callers that accept
+// user-supplied options (the job service) use the capability flags to
+// reject settings a method would silently ignore.
+type MethodInfo struct {
+	// Name is the canonical method name ("sha", "bohb", ...).
+	Name string
+	// Aliases are alternative accepted names ("hb" for hyperband,
+	// "optuna" for tpe).
+	Aliases []string
+	// Description is a one-line summary for discovery endpoints.
+	Description string
+	// BudgetAware marks bandit methods that allocate partial budgets;
+	// false for the full-budget baselines (random, grid, SMAC, TPE).
+	BudgetAware bool
+	// HonorsWorkers: RunOptions.Workers controls evaluation concurrency.
+	HonorsWorkers bool
+	// HonorsMaxConfigs: RunOptions.MaxConfigs caps the configurations
+	// considered.
+	HonorsMaxConfigs bool
+	// HonorsTrials: RunOptions.Trials sets the evaluation count.
+	HonorsTrials bool
+}
+
+// Method is one registered optimizer: capability metadata plus a
+// context-aware entry point. Every method stops before starting another
+// evaluation once ctx is cancelled and returns ctx's error.
+type Method interface {
+	Info() MethodInfo
+	Run(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts RunOptions) (*Result, error)
+}
+
+// methodFunc adapts a plain function to the Method interface.
+type methodFunc struct {
+	info MethodInfo
+	run  func(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts RunOptions) (*Result, error)
+}
+
+func (m methodFunc) Info() MethodInfo { return m.info }
+
+func (m methodFunc) Run(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts RunOptions) (*Result, error) {
+	return m.run(ctx, space, ev, comps, opts)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Method{}
+	// aliasOf maps every accepted name (canonical or alias) to the
+	// canonical name.
+	aliasOf = map[string]string{}
+)
+
+// Register adds a method under its canonical name and aliases. It panics on
+// empty or duplicate names: registration happens in init funcs, so a
+// collision is a programming error, not a runtime condition.
+func Register(m Method) {
+	info := m.Info()
+	if info.Name == "" {
+		panic("hpo: Register with empty method name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	// Validate every name before mutating, so a panic leaves the registry
+	// untouched.
+	names := append([]string{info.Name}, info.Aliases...)
+	for _, n := range names {
+		if n == "" {
+			panic(fmt.Sprintf("hpo: method %q registers an empty alias", info.Name))
+		}
+		if _, dup := aliasOf[n]; dup {
+			panic(fmt.Sprintf("hpo: duplicate method registration %q", n))
+		}
+	}
+	registry[info.Name] = m
+	for _, n := range names {
+		aliasOf[n] = info.Name
+	}
+}
+
+// RegisterFunc registers a plain function as a Method.
+func RegisterFunc(info MethodInfo, run func(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts RunOptions) (*Result, error)) {
+	Register(methodFunc{info: info, run: run})
+}
+
+// CanonicalName resolves a method name or alias to the canonical name.
+func CanonicalName(name string) (string, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	canonical, ok := aliasOf[name]
+	return canonical, ok
+}
+
+// LookupMethod resolves a method by canonical name or alias.
+func LookupMethod(name string) (Method, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	canonical, ok := aliasOf[name]
+	if !ok {
+		return nil, false
+	}
+	m, ok := registry[canonical]
+	return m, ok
+}
+
+// MethodNames returns the sorted canonical names of every registered
+// method.
+func MethodNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Methods returns every registered method's info, sorted by canonical name.
+func Methods() []MethodInfo {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	infos := make([]MethodInfo, 0, len(registry))
+	for _, m := range registry {
+		infos = append(infos, m.Info())
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}

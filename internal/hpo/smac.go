@@ -1,6 +1,7 @@
 package hpo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -53,6 +54,12 @@ func (o SMACOptions) withDefaults() SMACOptions {
 // time budget similar to SHA's, SMAC3 and Optuna behave like random
 // search — reproduced by the baselines experiment).
 func SMAC(space *search.Space, ev Evaluator, comps Components, opts SMACOptions) (*Result, error) {
+	return SMACCtx(context.Background(), space, ev, comps, opts)
+}
+
+// SMACCtx is SMAC with cancellation: when ctx is cancelled or times out the
+// run stops before starting another evaluation and returns ctx's error.
+func SMACCtx(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts SMACOptions) (*Result, error) {
 	comps = comps.withDefaults()
 	if err := validateRun(space, comps); err != nil {
 		return nil, err
@@ -70,6 +77,9 @@ func SMAC(space *search.Space, ev Evaluator, comps Components, opts SMACOptions)
 	var best search.Config
 
 	evaluate := func(cfg search.Config, step int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		tr, err := evalTrial(ev, comps, cfg, budget, step, root.Split(trialTag(step, 0)))
 		if err != nil {
 			return err
@@ -104,6 +114,21 @@ func SMAC(space *search.Space, ev Evaluator, comps Components, opts SMACOptions)
 	res.Evaluations = len(res.Trials)
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+func init() {
+	RegisterFunc(MethodInfo{
+		Name:         "smac",
+		Description:  "sequential full-budget Bayesian optimization with a random-forest surrogate (SMAC3-style, §IV-B baseline)",
+		HonorsTrials: true,
+	}, func(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts RunOptions) (*Result, error) {
+		o := opts.SMAC
+		o.Seed = opts.Seed
+		if o.N == 0 {
+			o.N = opts.Trials
+		}
+		return SMACCtx(ctx, space, ev, comps, o)
+	})
 }
 
 // smacPropose fits the surrogate and returns the candidate with the best

@@ -1,6 +1,7 @@
 package hpo
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -24,6 +25,12 @@ type TPEOptions struct {
 
 // TPE runs sequential full-budget TPE optimization.
 func TPE(space *search.Space, ev Evaluator, comps Components, opts TPEOptions) (*Result, error) {
+	return TPECtx(context.Background(), space, ev, comps, opts)
+}
+
+// TPECtx is TPE with cancellation: when ctx is cancelled or times out the
+// run stops before starting another evaluation and returns ctx's error.
+func TPECtx(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts TPEOptions) (*Result, error) {
 	comps = comps.withDefaults()
 	if err := validateRun(space, comps); err != nil {
 		return nil, err
@@ -40,6 +47,9 @@ func TPE(space *search.Space, ev Evaluator, comps Components, opts TPEOptions) (
 	bestScore := math.Inf(-1)
 	var best search.Config
 	for step := 0; step < opts.N; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var cfg search.Config
 		// Prefer unseen proposals; on a saturated tiny space re-evaluate.
 		for attempt := 0; ; attempt++ {
@@ -64,4 +74,20 @@ func TPE(space *search.Space, ev Evaluator, comps Components, opts TPEOptions) (
 	res.Evaluations = len(res.Trials)
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+func init() {
+	RegisterFunc(MethodInfo{
+		Name:         "tpe",
+		Aliases:      []string{"optuna"},
+		Description:  "sequential full-budget TPE (Optuna's default sampler, §IV-B baseline)",
+		HonorsTrials: true,
+	}, func(ctx context.Context, space *search.Space, ev Evaluator, comps Components, opts RunOptions) (*Result, error) {
+		o := opts.TPE
+		o.Seed = opts.Seed
+		if o.N == 0 {
+			o.N = opts.Trials
+		}
+		return TPECtx(ctx, space, ev, comps, o)
+	})
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -22,7 +23,8 @@ type JobSpec struct {
 	// construction. Jobs with equal spec-except-seed/method share one
 	// evaluation-cache scope, so it is separate from Seed. 0 selects 1.
 	DatasetSeed uint64 `json:"dataset_seed,omitempty"`
-	// Method is one of sha, hyperband, bohb, asha.
+	// Method names a registered optimizer (hpo.MethodNames or an alias;
+	// GET /methods lists them with their capabilities).
 	Method string `json:"method"`
 	// Enhanced switches to the paper's "+" components (instance grouping,
 	// general+special folds, UCB-β score).
@@ -30,9 +32,14 @@ type JobSpec struct {
 	// NumHPs is the Table III search-space prefix length (1-8). 0
 	// selects 4, the paper's HPO setting.
 	NumHPs int `json:"hps,omitempty"`
-	// MaxConfigs caps the configurations considered (SHA start set /
-	// ASHA samples). 0 selects the method default.
+	// MaxConfigs caps the configurations considered (SHA start set,
+	// ASHA/PASHA samples, grid cap). 0 selects the method default.
+	// Rejected for methods that do not honor it.
 	MaxConfigs int `json:"max_configs,omitempty"`
+	// Trials is the evaluation count of the full-budget methods (random,
+	// smac, tpe). 0 selects the method default (10). Rejected for methods
+	// that do not honor it.
+	Trials int `json:"trials,omitempty"`
 	// Seed drives the search (sampling, per-trial streams). 0 selects 1.
 	Seed uint64 `json:"seed,omitempty"`
 	// Iters is the MLP training epoch count. 0 selects 20.
@@ -66,30 +73,68 @@ func (s JobSpec) withDefaults() JobSpec {
 	return s
 }
 
-// Validate reports the first problem with the spec.
+// SpecFieldError names the JobSpec field that failed validation, so the
+// HTTP layer can return a structured 400 pointing at the offending field.
+type SpecFieldError struct {
+	// Field is the JSON field name of the spec.
+	Field string
+	// Msg says what is wrong with it.
+	Msg string
+}
+
+// Error implements error.
+func (e *SpecFieldError) Error() string {
+	return fmt.Sprintf("serve: %s: %s", e.Field, e.Msg)
+}
+
+// fieldErr builds a SpecFieldError.
+func fieldErr(field, format string, args ...any) error {
+	return &SpecFieldError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate reports the first problem with the spec. The method name is
+// resolved against the hpo registry, and option fields a method cannot
+// honor (per its capability flags) are rejected here — a named-field 400
+// at submission — instead of being silently ignored at run time.
 func (s JobSpec) Validate() error {
 	if _, err := dataset.SpecByName(s.Dataset); err != nil {
-		return fmt.Errorf("serve: %w", err)
+		return fieldErr("dataset", "%v", err)
 	}
-	switch s.Method {
-	case "sha", "hyperband", "bohb", "asha":
-	default:
-		return fmt.Errorf("serve: unknown method %q (want sha, hyperband, bohb or asha)", s.Method)
+	method, ok := hpo.LookupMethod(s.Method)
+	if !ok {
+		return fieldErr("method", "unknown method %q (known: %s)",
+			s.Method, strings.Join(hpo.MethodNames(), ", "))
+	}
+	info := method.Info()
+	if s.MaxConfigs > 0 && !info.HonorsMaxConfigs {
+		return fieldErr("max_configs", "method %q does not honor max_configs", info.Name)
+	}
+	if s.Workers > 0 && !info.HonorsWorkers {
+		return fieldErr("workers", "method %q does not honor workers", info.Name)
+	}
+	if s.Trials > 0 && !info.HonorsTrials {
+		return fieldErr("trials", "method %q does not honor trials (full-budget methods only)", info.Name)
 	}
 	if s.Scale < 0 || s.Scale > 3 {
-		return fmt.Errorf("serve: scale %v out of (0, 3]", s.Scale)
+		return fieldErr("scale", "scale %v out of (0, 3]", s.Scale)
 	}
 	if s.NumHPs < 0 || s.NumHPs > 8 {
-		return fmt.Errorf("serve: hps %d out of [1, 8]", s.NumHPs)
+		return fieldErr("hps", "hps %d out of [1, 8]", s.NumHPs)
 	}
 	if s.MaxConfigs < 0 {
-		return fmt.Errorf("serve: negative max_configs")
+		return fieldErr("max_configs", "negative max_configs")
+	}
+	if s.Trials < 0 {
+		return fieldErr("trials", "negative trials")
+	}
+	if s.Workers < 0 {
+		return fieldErr("workers", "negative workers")
 	}
 	if s.Iters < 0 || s.Iters > 10_000 {
-		return fmt.Errorf("serve: iters %d out of [1, 10000]", s.Iters)
+		return fieldErr("iters", "iters %d out of [1, 10000]", s.Iters)
 	}
 	if s.TimeoutSec < 0 {
-		return fmt.Errorf("serve: negative timeout_sec")
+		return fieldErr("timeout_sec", "negative timeout_sec")
 	}
 	return nil
 }

@@ -491,8 +491,8 @@ func replayFiles(dir string, lay layout) ([]string, error) {
 			want = live[i-1] + 1
 		}
 		if seq != want {
-			return nil, fmt.Errorf("journal: missing segment %s (found %s after %s)",
-				segmentName(want), segmentName(seq), baseName(lay.baseSeq))
+			return nil, fmt.Errorf("journal: missing segment %s (found %s after %s): %w",
+				segmentName(want), segmentName(seq), baseName(lay.baseSeq), errSegmentGap)
 		}
 		files = append(files, filepath.Join(dir, segmentName(seq)))
 	}
@@ -521,20 +521,55 @@ func replayLayout(dir string, lay layout) ([]JobState, error) {
 	return out, nil
 }
 
+// errSegmentGap marks a gap in the live segment sequence. A persistent
+// gap is lost data and fails the replay; a transient one is the
+// signature of a background fold racing the directory scan and is
+// retried against a fresh scan.
+var errSegmentGap = errors.New("segment sequence gap")
+
+// Replay retry budget for the replay-vs-fold race below.
+const (
+	replayRetries    = 20
+	replayRetryDelay = 10 * time.Millisecond
+)
+
 // Replay reads a data directory's journal — newest base plus the live
 // segment sequence — into per-job states in first submission order. A
 // missing journal yields no states; a torn final line in the newest
 // segment (crash mid-write) ends the replay cleanly at the last whole
 // record; a missing middle segment or a torn sealed file is an error.
+//
+// A replacement process can replay a directory while the process it is
+// replacing is still folding it (double-start, or recovery racing a
+// dying daemon's background fold): files listed by the scan may be
+// folded into a newer base and deleted before they are opened. Both
+// shapes of that race — a vanished file and a transient sequence gap —
+// are re-scanned and retried; the fold is monotonic, so a fresh scan
+// converges on a consistent layout. Only a persistent gap (genuinely
+// lost data) is reported.
 func Replay(dir string) ([]JobState, error) {
 	if err := migrateLegacy(dir); err != nil {
 		return nil, err
 	}
-	lay, err := scanDir(dir)
-	if err != nil {
-		return nil, err
+	var lastErr error
+	for attempt := 0; attempt < replayRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(replayRetryDelay)
+		}
+		lay, err := scanDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		states, err := replayLayout(dir, lay)
+		if err == nil {
+			return states, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) && !errors.Is(err, errSegmentGap) {
+			return nil, err
+		}
+		lastErr = err
 	}
-	return replayLayout(dir, lay)
+	return nil, lastErr
 }
 
 // writeBase writes the states as a compacted base file for seq via a

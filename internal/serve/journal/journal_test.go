@@ -284,6 +284,43 @@ func TestReplayMissingMiddleSegment(t *testing.T) {
 	}
 }
 
+// TestReplayRetriesTransientGap: a gap that heals while Replay is
+// retrying (the signature of a concurrent fold racing the scan) must
+// replay cleanly instead of reporting lost data.
+func TestReplayRetriesTransientGap(t *testing.T) {
+	dir := t.TempDir()
+	spec := json.RawMessage(`{"dataset":"australian","method":"sha"}`)
+	now := time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC)
+	for seq := 1; seq <= 3; seq++ {
+		writeSegment(t, dir, seq,
+			Record{Type: TypeSubmit, Time: now, JobID: "job-" + segmentName(seq), Spec: spec})
+	}
+	seg2 := filepath.Join(dir, segmentName(2))
+	stashed, err := os.ReadFile(seg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(seg2); err != nil {
+		t.Fatal(err)
+	}
+	restored := make(chan struct{})
+	go func() {
+		defer close(restored)
+		time.Sleep(3 * replayRetryDelay)
+		if err := os.WriteFile(seg2, stashed, 0o644); err != nil {
+			t.Error(err)
+		}
+	}()
+	states, err := Replay(dir)
+	<-restored
+	if err != nil {
+		t.Fatalf("replay did not ride out the transient gap: %v", err)
+	}
+	if len(states) != 3 {
+		t.Fatalf("replayed %d jobs, want 3", len(states))
+	}
+}
+
 // TestRotationConcurrentAppends hammers a rotating writer from several
 // goroutines (run under -race via make check): every job must survive
 // rotation + background folds, and the sealed history must land in a

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"enhancedbhpo/internal/dataset"
@@ -82,34 +83,26 @@ func (m *Manager) optimize(ctx context.Context, job *Job, scope *evalScope) (*hp
 		failureBudget: m.cfg.FailureBudget,
 		evalTimeout:   m.cfg.EvalTimeout,
 	}
+	method, ok := hpo.LookupMethod(spec.Method)
+	if !ok {
+		// Unreachable for submitted jobs: Validate rejects unknown methods.
+		return nil, fmt.Errorf("serve: unknown method %q", spec.Method)
+	}
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = m.pool.Size()
 	}
-	switch spec.Method {
-	case "sha":
-		configs := space.Enumerate()
-		if spec.MaxConfigs > 0 && spec.MaxConfigs < len(configs) {
-			// Mirror core.Run's sampling stream so service runs match CLI
-			// runs with the same seed.
-			configs = space.SampleN(rng.New(spec.Seed^0xc0de).Split(2), spec.MaxConfigs)
-		}
-		return hpo.SuccessiveHalvingCtx(ctx, configs, ev, comps, hpo.SHAOptions{
-			Seed: spec.Seed, Workers: workers,
-		})
-	case "hyperband":
-		return hpo.HyperbandCtx(ctx, space, ev, comps, hpo.HyperbandOptions{Seed: spec.Seed})
-	case "bohb":
-		return hpo.BOHBCtx(ctx, space, ev, comps, hpo.BOHBOptions{
-			Hyperband: hpo.HyperbandOptions{Seed: spec.Seed},
-		})
-	case "asha":
-		return hpo.ASHACtx(ctx, space, ev, comps, hpo.ASHAOptions{
-			MaxConfigs: spec.MaxConfigs, Workers: workers, Seed: spec.Seed,
-		})
-	}
-	// Unreachable: Validate rejects other methods at submission.
-	return nil, errors.New("serve: unsupported method")
+	// The registry adapters run the same code path as core.Run, so a
+	// served job and a CLI run with the same seed agree bit for bit.
+	// Workers only reaches methods that honor it (Validate rejects an
+	// explicit setting for the rest); the pool-size default is harmless
+	// for methods that ignore it.
+	return method.Run(ctx, space, ev, comps, hpo.RunOptions{
+		Seed:       spec.Seed,
+		Workers:    workers,
+		MaxConfigs: spec.MaxConfigs,
+		Trials:     spec.Trials,
+	})
 }
 
 // finish records the job's terminal state and journals it. A successful

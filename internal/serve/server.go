@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"enhancedbhpo/internal/hpo"
 )
 
 // Server exposes a Manager over HTTP/JSON.
@@ -19,6 +21,7 @@ import (
 //	GET    /jobs        list all jobs (snapshots without curves)
 //	GET    /jobs/{id}   one job's status + live anytime curve
 //	DELETE /jobs/{id}   cancel a job (idempotent on terminal jobs)
+//	GET    /methods     registered optimizers (name, aliases, capabilities)
 //	GET    /healthz     liveness/readiness probe (ok|overloaded|draining)
 //	GET    /metrics     service counters (jobs, pool, cache, eval rate)
 type Server struct {
@@ -34,6 +37,7 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /jobs", s.listJobs)
 	s.mux.HandleFunc("GET /jobs/{id}", s.getJob)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.cancelJob)
+	s.mux.HandleFunc("GET /methods", s.listMethods)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	return s
@@ -51,9 +55,11 @@ func (s *Server) SetDraining(on bool) {
 	s.draining.Store(on)
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope. Field names the JobSpec field a
+// validation error points at, when one does.
 type errorBody struct {
 	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -94,11 +100,48 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	var fieldErr *SpecFieldError
+	if errors.As(err, &fieldErr) {
+		// Spec validation failure: name the offending field so clients can
+		// fix the submission instead of guessing.
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Field: fieldErr.Field})
+		return
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+// methodBody is one GET /methods entry: the registry's view of an
+// optimizer, so clients can discover what is servable and which spec
+// fields each method honors.
+type methodBody struct {
+	Name             string   `json:"name"`
+	Aliases          []string `json:"aliases,omitempty"`
+	Description      string   `json:"description,omitempty"`
+	BudgetAware      bool     `json:"budget_aware"`
+	HonorsWorkers    bool     `json:"honors_workers"`
+	HonorsMaxConfigs bool     `json:"honors_max_configs"`
+	HonorsTrials     bool     `json:"honors_trials"`
+}
+
+func (s *Server) listMethods(w http.ResponseWriter, r *http.Request) {
+	infos := hpo.Methods()
+	out := make([]methodBody, 0, len(infos))
+	for _, info := range infos {
+		out = append(out, methodBody{
+			Name:             info.Name,
+			Aliases:          info.Aliases,
+			Description:      info.Description,
+			BudgetAware:      info.BudgetAware,
+			HonorsWorkers:    info.HonorsWorkers,
+			HonorsMaxConfigs: info.HonorsMaxConfigs,
+			HonorsTrials:     info.HonorsTrials,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // overloadBody is the 429 payload: the error plus the same retry hint as

@@ -9,6 +9,8 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"enhancedbhpo/internal/hpo"
 )
 
 // smallSpec is a job small enough to finish in well under a second.
@@ -346,5 +348,118 @@ func TestBadSubmissions(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("missing job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMethodsEndpoint checks that GET /methods serves the hpo registry:
+// all ten methods, sorted, with aliases and capability flags.
+func TestMethodsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, Config{PoolSize: 1, MaxJobs: 1})
+	resp, err := http.Get(ts.URL + "/methods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /methods: status %d", resp.StatusCode)
+	}
+	var methods []methodBody
+	if err := json.NewDecoder(resp.Body).Decode(&methods); err != nil {
+		t.Fatal(err)
+	}
+	want := hpo.MethodNames()
+	if len(methods) != len(want) {
+		t.Fatalf("GET /methods returned %d methods, want %d", len(methods), len(want))
+	}
+	byName := map[string]methodBody{}
+	for i, m := range methods {
+		if m.Name != want[i] {
+			t.Errorf("method %d is %q, want %q (sorted)", i, m.Name, want[i])
+		}
+		byName[m.Name] = m
+	}
+	if hb := byName["hyperband"]; len(hb.Aliases) != 1 || hb.Aliases[0] != "hb" || !hb.BudgetAware || hb.HonorsWorkers {
+		t.Errorf("hyperband entry wrong: %+v", hb)
+	}
+	if tpe := byName["tpe"]; !tpe.HonorsTrials || tpe.BudgetAware || len(tpe.Aliases) != 1 || tpe.Aliases[0] != "optuna" {
+		t.Errorf("tpe entry wrong: %+v", tpe)
+	}
+	if sha := byName["sha"]; !sha.BudgetAware || !sha.HonorsWorkers || !sha.HonorsMaxConfigs || sha.HonorsTrials {
+		t.Errorf("sha entry wrong: %+v", sha)
+	}
+}
+
+// TestUnhonoredFieldRejected checks the named-field 400: a spec field the
+// selected method cannot honor is rejected at submission, with the field
+// name in the error envelope, instead of being silently ignored.
+func TestUnhonoredFieldRejected(t *testing.T) {
+	ts, _ := newTestServer(t, Config{PoolSize: 1, MaxJobs: 1})
+	for name, tc := range map[string]struct {
+		body  string
+		field string
+	}{
+		"hyperband max_configs": {`{"dataset":"australian","method":"hyperband","max_configs":6}`, "max_configs"},
+		"hyperband workers":     {`{"dataset":"australian","method":"hyperband","workers":2}`, "workers"},
+		"bohb workers":          {`{"dataset":"australian","method":"bohb","workers":2}`, "workers"},
+		"tpe max_configs":       {`{"dataset":"australian","method":"tpe","max_configs":6}`, "max_configs"},
+		"sha trials":            {`{"dataset":"australian","method":"sha","trials":3}`, "trials"},
+		"pasha workers":         {`{"dataset":"australian","method":"pasha","workers":2}`, "workers"},
+		"unknown method":        {`{"dataset":"australian","method":"sgd"}`, "method"},
+	} {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body errorBody
+		decodeErr := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+			continue
+		}
+		if decodeErr != nil {
+			t.Errorf("%s: decoding error body: %v", name, decodeErr)
+			continue
+		}
+		if body.Field != tc.field {
+			t.Errorf("%s: error names field %q, want %q (error: %s)", name, body.Field, tc.field, body.Error)
+		}
+	}
+}
+
+// TestAllMethodsServable submits one tiny job per registered method — the
+// full-budget baselines and DEHB/PASHA included — and polls each to done,
+// checking that a best score and a live anytime curve came back. This is
+// the registry's end-to-end guarantee: everything registered is servable.
+func TestAllMethodsServable(t *testing.T) {
+	ts, _ := newTestServer(t, Config{PoolSize: 2, MaxJobs: 2})
+	for _, info := range hpo.Methods() {
+		spec := JobSpec{
+			Dataset: "australian",
+			Scale:   0.06,
+			Method:  info.Name,
+			NumHPs:  2,
+			Iters:   2,
+			Seed:    3,
+		}
+		// Keep every method tiny using whichever cap it honors.
+		if info.HonorsMaxConfigs {
+			spec.MaxConfigs = 6
+		}
+		if info.HonorsTrials {
+			spec.Trials = 4
+		}
+		snap := postJob(t, ts.URL, spec)
+		done := pollUntil(t, ts.URL, snap.ID, func(s Snapshot) bool { return terminal(s.Status) }, "terminal")
+		if done.Status != StatusDone {
+			t.Errorf("%s: finished %s (error: %s)", info.Name, done.Status, done.Error)
+			continue
+		}
+		if done.BestScore == nil || done.TestScore == nil {
+			t.Errorf("%s: done without best/test score", info.Name)
+		}
+		if done.Evaluations == 0 || len(done.Curve) == 0 {
+			t.Errorf("%s: no anytime curve (evaluations=%d, curve=%d)", info.Name, done.Evaluations, len(done.Curve))
+		}
 	}
 }
