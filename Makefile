@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check crash chaos bench bench-smoke bench-multicore fmt serve clean
+.PHONY: all build test race vet check crash chaos sse bench bench-smoke bench-multicore fmt serve clean
 
 # The kernel/Fit benchmark family captured in BENCH_kernels.json.
 BENCH_PATTERN = BenchmarkMat|BenchmarkFit
@@ -37,6 +37,17 @@ crash:
 chaos:
 	BHPOD_CHAOS_SECONDS=30 $(GO) test -race -count=1 -run 'TestChaosOverload|TestAdmissionControl429|TestEvalDeadlineAbandonsWedgedTrial|TestPoolAcquire|TestScope' -timeout 600s ./internal/serve/
 
+# Streaming-telemetry suite: the SSE end-to-end path (submit a job,
+# subscribe, drop the connection, resume with Last-Event-ID and receive
+# every event exactly once in order), durable traces surviving a
+# kill/restart byte-identically, slow-consumer drop accounting, the
+# ?since=N incremental poll, the hub unit tests, trace-store
+# crash-safety, and the `bhpo watch` client — all under -race.
+sse:
+	$(GO) test -race -count=1 ./internal/events/... ./internal/serve/tracestore/...
+	$(GO) test -race -count=1 -run 'TestSSE|TestSlowConsumerDropsCounted|TestGetJobSince|TestTraceSurvivesKillAndRestart|TestMetricsExposeEventCounters' ./internal/serve/
+	$(GO) test -race -count=1 -run 'TestWatch' ./cmd/bhpo/
+
 # Kernel + training-loop benchmarks, recorded as the perf baseline.
 # Writes BENCH_kernels.json (ns/op, B/op, allocs/op per benchmark).
 bench:
@@ -54,7 +65,7 @@ bench-multicore:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . >/dev/null
 
-check: vet race crash chaos bench-smoke
+check: vet race crash chaos sse bench-smoke
 
 fmt:
 	gofmt -l -w .

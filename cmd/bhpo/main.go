@@ -7,6 +7,13 @@
 //
 //	bhpo -dataset a9a -method sha -enhanced [-hps 4] [-configs 162] \
 //	     [-scale 0.35] [-seed 1] [-iters 20] [-f1]
+//	bhpo watch [-after N] [-retries 8] [-quiet] http://host:8149/jobs/job-1
+//
+// The watch subcommand follows a job running on a bhpod daemon: it
+// subscribes to the job's Server-Sent Events feed and renders a live
+// incumbent ticker (curve points, rung promotions, retries, failures),
+// resuming across dropped connections via Last-Event-ID, and prints the
+// final snapshot when the job finishes.
 //
 // Datasets: australian splice gisette machine nticusdroid a9a fraud
 // credit2023 satimage usps molecules kc-house. Methods: every optimizer in
@@ -30,6 +37,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		os.Exit(watchMain(os.Args[2:]))
+	}
 	var (
 		dsName   = flag.String("dataset", "australian", "simulated dataset name")
 		csvPath  = flag.String("csv", "", "optional CSV file (last column = label/target) used instead of -dataset")

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"enhancedbhpo/internal/serve"
+)
+
+// startJob spins up a bhpod-equivalent test server and submits one small
+// job, returning the job's URL.
+func startJob(t *testing.T) string {
+	t.Helper()
+	m := serve.NewManager(serve.Config{PoolSize: 2, MaxJobs: 2})
+	ts := httptest.NewServer(serve.NewServer(m))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := m.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	job, err := m.Submit(serve.JobSpec{
+		Dataset:    "australian",
+		Scale:      0.06,
+		Method:     "sha",
+		NumHPs:     2,
+		MaxConfigs: 6,
+		Iters:      2,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts.URL + "/jobs/" + job.ID
+}
+
+// TestWatchLiveJob follows a job from submission to completion: the
+// ticker must show curve points and lifecycle transitions, and the final
+// summary must carry the terminal snapshot.
+func TestWatchLiveJob(t *testing.T) {
+	jobURL := startJob(t)
+	var out strings.Builder
+	status, err := watchJob(context.Background(), http.DefaultClient, jobURL, watchOptions{}, &out)
+	if err != nil {
+		t.Fatalf("watch failed: %v\noutput:\n%s", err, out.String())
+	}
+	if status != "done" {
+		t.Fatalf("terminal status %q, want done", status)
+	}
+	text := out.String()
+	for _, want := range []string{"== running", "== done", "best ", "job done", "best score:", "test score:"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestWatchFinishedJob subscribes after the job already finished: the
+// full backlog replays and the stream closes immediately.
+func TestWatchFinishedJob(t *testing.T) {
+	jobURL := startJob(t)
+	// First watch runs the job to completion...
+	var first strings.Builder
+	if _, err := watchJob(context.Background(), http.DefaultClient, jobURL, watchOptions{}, &first); err != nil {
+		t.Fatal(err)
+	}
+	// ...the second one gets the whole feed as backlog.
+	var out strings.Builder
+	status, err := watchJob(context.Background(), http.DefaultClient, jobURL, watchOptions{Quiet: true}, &out)
+	if err != nil {
+		t.Fatalf("watch of finished job failed: %v", err)
+	}
+	if status != "done" {
+		t.Fatalf("terminal status %q, want done", status)
+	}
+	if text := out.String(); !strings.Contains(text, "job done") {
+		t.Fatalf("missing final summary:\n%s", text)
+	}
+}
+
+// TestWatchBadURL: a malformed job URL is rejected before any request.
+func TestWatchBadURL(t *testing.T) {
+	var out strings.Builder
+	if _, err := watchJob(context.Background(), http.DefaultClient, "not-a-url", watchOptions{}, &out); err == nil {
+		t.Fatal("invalid URL accepted")
+	}
+}
+
+// TestWatchUnknownJob: a 404 from the events endpoint surfaces as an
+// error once the retry budget is spent.
+func TestWatchUnknownJob(t *testing.T) {
+	jobURL := startJob(t)
+	base := jobURL[:strings.LastIndex(jobURL, "/")]
+	var out strings.Builder
+	_, err := watchJob(context.Background(), http.DefaultClient, base+"/job-404", watchOptions{Retries: 1, Quiet: true}, &out)
+	if err == nil {
+		t.Fatal("watch of unknown job succeeded")
+	}
+	if !strings.Contains(err.Error(), "404") {
+		t.Fatalf("error does not surface the 404: %v", err)
+	}
+}

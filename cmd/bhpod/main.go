@@ -19,24 +19,39 @@
 // -scope-ttl release their memory (rebuilt deterministically on next
 // use).
 //
+// Every job also streams its telemetry live: curve points, rung
+// promotions, retries, deadline abandonments, failure-budget charges and
+// lifecycle transitions are published to GET /jobs/{id}/events as
+// Server-Sent Events (resumable via Last-Event-ID), and — with -data-dir
+// set — recorded durably to a per-job trace file so GET /jobs/{id}/trace
+// serves the full anytime curve even after a crash and restart. `bhpo
+// watch <job-url>` is the terminal client for the feed.
+//
 // Usage:
 //
 //	bhpod [-addr :8149] [-workers N] [-max-jobs 4] [-max-pending 64]
 //	      [-cache-entries 65536] [-data-dir DIR] [-drain-timeout 30s]
 //	      [-eval-attempts 2] [-retry-backoff 50ms] [-failure-budget 3]
 //	      [-eval-timeout 0] [-journal-max-bytes 4194304] [-scope-ttl 0]
+//	      [-event-buffer 256] [-trace-max-bytes 1048576]
 //	      [-kernel-workers 0] [-pprof]
 //
 // Endpoints:
 //
-//	POST   /jobs        submit a job (JSON spec: dataset, method, ...);
-//	                    429 + Retry-After when overloaded, 503 draining
-//	GET    /jobs        list jobs
-//	GET    /jobs/{id}   job status + incumbent curve
-//	DELETE /jobs/{id}   cancel a job (idempotent on finished jobs)
-//	GET    /healthz     health probe ("ok", "overloaded" or "draining")
-//	GET    /metrics     service counters
-//	GET    /debug/pprof/*  live profiling (only with -pprof)
+//	POST   /jobs               submit a job (JSON spec: dataset, method,
+//	                           ...); 429 + Retry-After when overloaded,
+//	                           503 draining
+//	GET    /jobs               list jobs
+//	GET    /jobs/{id}          job status + incumbent curve (?since=N for
+//	                           only the curve points past event seq N)
+//	GET    /jobs/{id}/events   live job telemetry as SSE (Last-Event-ID
+//	                           resume)
+//	GET    /jobs/{id}/trace    full anytime curve, durable across restarts
+//	                           (?events=1 for the raw event log)
+//	DELETE /jobs/{id}          cancel a job (idempotent on finished jobs)
+//	GET    /healthz            health probe ("ok", "overloaded" or "draining")
+//	GET    /metrics            service counters
+//	GET    /debug/pprof/*      live profiling (only with -pprof)
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: new submissions are
 // refused with 503, in-flight evaluations get -drain-timeout to finish,
@@ -77,6 +92,8 @@ func main() {
 		attempts = flag.Int("eval-attempts", 2, "total tries per evaluation before it counts as a failure")
 		backoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "base (jittered) delay between evaluation retries")
 		failures = flag.Int("failure-budget", 3, "evaluation failures a job absorbs before it is failed")
+		eventBuf = flag.Int("event-buffer", 256, "buffered events per SSE subscriber; a slower consumer has events dropped from its stream (resumable via Last-Event-ID)")
+		traceMax = flag.Int64("trace-max-bytes", 1<<20, "compact a job's durable trace file once it grows this much past its last compaction (negative = never; needs -data-dir)")
 		kernelW  = flag.Int("kernel-workers", 0, "matmul goroutines per pooled evaluation (0 = NumCPU/workers, so the pool never oversubscribes)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
 	)
@@ -93,6 +110,8 @@ func main() {
 		EvalAttempts:    *attempts,
 		RetryBackoff:    *backoff,
 		FailureBudget:   *failures,
+		EventBuffer:     *eventBuf,
+		TraceMaxBytes:   *traceMax,
 		KernelWorkers:   *kernelW,
 	}
 	if err := run(*addr, cfg, *drainTmo, *pprofOn); err != nil {

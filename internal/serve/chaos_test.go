@@ -14,10 +14,13 @@ import (
 	"testing"
 	"time"
 
+	"enhancedbhpo/internal/events"
 	"enhancedbhpo/internal/hpo"
 	"enhancedbhpo/internal/rng"
 	"enhancedbhpo/internal/search"
 	"enhancedbhpo/internal/serve/journal"
+	"enhancedbhpo/internal/serve/tracestore"
+	"enhancedbhpo/internal/trace"
 )
 
 // wedgeEvaluator stalls its first evaluation for sleep, then behaves
@@ -241,6 +244,7 @@ func TestChaosOverload(t *testing.T) {
 		ScopeTTL:        300 * time.Millisecond,
 		DataDir:         dir,
 		JournalMaxBytes: maxBytes,
+		TraceMaxBytes:   4 << 10, // force trace compactions under the storm
 		WrapEvaluator: func(id string, inner hpo.Evaluator) hpo.Evaluator {
 			if freezeArm.CompareAndSwap(true, false) {
 				return &gateEvaluator{inner: inner, gate: freezeGate, entered: frozenEntered}
@@ -479,6 +483,67 @@ func TestChaosOverload(t *testing.T) {
 	fsnap := fj.Snapshot()
 	if fsnap.Status != StatusCancelled || fsnap.Reason != ReasonInterrupted {
 		t.Errorf("frozen job replayed as %s/%s, want cancelled/interrupted", fsnap.Status, fsnap.Reason)
+	}
+
+	// Trace integrity: a mid-storm kill must never corrupt a trace file.
+	// Every per-job trace on disk still parses (a torn final line is
+	// tolerated by the reader; a torn middle is not), its event sequence
+	// numbers are strictly increasing across any compactions that ran
+	// under the storm, and every job the journal replayed as done still
+	// has its complete anytime curve and terminal event on disk.
+	if mt.TraceStoreErrors != 0 {
+		t.Errorf("trace store recorded %d errors under the storm", mt.TraceStoreErrors)
+	}
+	traceDir := TraceDir(dir)
+	mu.Lock()
+	traceIDs := make([]string, 0, len(accepted)+1)
+	for id := range accepted {
+		traceIDs = append(traceIDs, id)
+	}
+	mu.Unlock()
+	traceIDs = append(traceIDs, frozen.ID)
+	for _, id := range traceIDs {
+		evs, err := tracestore.Read(traceDir, id)
+		if err != nil {
+			t.Errorf("trace for %s unreadable after kill: %v", id, err)
+			continue
+		}
+		var lastSeq uint64
+		ordered := true
+		for i, ev := range evs {
+			if ev.Seq <= lastSeq {
+				t.Errorf("trace for %s: seq %d at position %d does not increase past %d", id, ev.Seq, i, lastSeq)
+				ordered = false
+				break
+			}
+			lastSeq = ev.Seq
+		}
+		j2, ok := m2.Get(id)
+		if !ok || !ordered || j2.Status() != StatusDone {
+			continue
+		}
+		var curve []trace.Point
+		terminalSeen := false
+		for _, ev := range evs {
+			if ev.Type == events.TypeCurvePoint && ev.Point != nil {
+				curve = append(curve, *ev.Point)
+			}
+			terminalSeen = terminalSeen || ev.Terminal
+		}
+		if !terminalSeen {
+			t.Errorf("done job %s: trace lost its terminal event", id)
+		}
+		snap := j2.Snapshot()
+		if len(curve) != len(snap.Curve) {
+			t.Errorf("done job %s: trace holds %d curve points, replayed snapshot %d", id, len(curve), len(snap.Curve))
+			continue
+		}
+		for i := range curve {
+			if curve[i] != snap.Curve[i] {
+				t.Errorf("done job %s: curve point %d differs across the kill: %+v vs %+v", id, i, curve[i], snap.Curve[i])
+				break
+			}
+		}
 	}
 
 	// Journal bound: the directory may transiently hold the compacted

@@ -228,14 +228,43 @@ type Job struct {
 	testScore float64
 	hasTest   bool
 	restored  *restoredState
+
+	// Incumbent recurrence, maintained trial by trial so each observed
+	// trial yields its anytime-curve point without recomputing the whole
+	// curve. Matches trace.Anytime exactly: a full recompute over trials
+	// produces the same points bit for bit.
+	cumBudget int
+	cumTime   time.Duration
+	best      float64
+	haveBest  bool
+	maxRound  int
 }
 
-// observe implements the hpo.Components trial observer; it is called
-// concurrently by optimizer workers.
-func (j *Job) observe(tr hpo.Trial) {
-	j.mu.Lock()
+// recordTrialLocked appends one observed trial and extends the incumbent
+// recurrence, returning the trial's anytime-curve point plus whether it
+// opened a new halving round (a rung promotion). Called with j.mu held —
+// the manager keeps the lock across record+publish so the event stream
+// order matches the trial order.
+func (j *Job) recordTrialLocked(tr hpo.Trial) (pt trace.Point, newRound int, promoted bool) {
 	j.trials = append(j.trials, tr)
-	j.mu.Unlock()
+	j.cumBudget += tr.Budget
+	j.cumTime += tr.Elapsed
+	if !j.haveBest || tr.Score > j.best {
+		j.best = tr.Score
+		j.haveBest = true
+	}
+	if tr.Round > j.maxRound {
+		j.maxRound = tr.Round
+		promoted = tr.Round > 0
+		newRound = tr.Round
+	}
+	pt = trace.Point{
+		Evaluations: len(j.trials),
+		CumBudget:   j.cumBudget,
+		CumTime:     j.cumTime,
+		BestScore:   j.best,
+	}
+	return pt, newRound, promoted
 }
 
 // Status returns the job's current lifecycle state.
@@ -269,16 +298,17 @@ func (j *Job) cancelWith(reason Reason) {
 
 // recordEvalFailure counts one definitive evaluation failure against the
 // job's failure budget, keeping the most recent stack for the job
-// record. It reports whether the failure is absorbed (budget not yet
-// exhausted) — if not, the caller surfaces the error and the job fails.
-func (j *Job) recordEvalFailure(stack string, budget int) bool {
+// record. It returns the new failure count and whether the failure is
+// absorbed (budget not yet exhausted) — if not, the caller surfaces the
+// error and the job fails.
+func (j *Job) recordEvalFailure(stack string, budget int) (failures int, absorbed bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.failures++
 	if stack != "" {
 		j.stack = stack
 	}
-	return j.failures <= budget
+	return j.failures, j.failures <= budget
 }
 
 // Snapshot is a point-in-time JSON view of a job, served by GET
@@ -304,6 +334,10 @@ type Snapshot struct {
 	BestConfig  map[string]any `json:"best_config,omitempty"`
 	BestScore   *float64       `json:"best_score,omitempty"`
 	TestScore   *float64       `json:"test_score,omitempty"`
+	// LastSeq is the job's highest published event sequence number —
+	// the resume point for /jobs/{id}/events (Last-Event-ID) and the
+	// ?since=N incremental poll.
+	LastSeq uint64 `json:"last_seq,omitempty"`
 }
 
 // FinishedAtOr returns the snapshot's finish time, or fallback when the

@@ -6,17 +6,20 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/events"
 	"enhancedbhpo/internal/hpo"
 	"enhancedbhpo/internal/nn"
 	"enhancedbhpo/internal/rng"
 	"enhancedbhpo/internal/serve/evalcache"
 	"enhancedbhpo/internal/serve/journal"
+	"enhancedbhpo/internal/serve/tracestore"
 	"enhancedbhpo/internal/trace"
 )
 
@@ -72,6 +75,19 @@ type Config struct {
 	// absorbs — each failed trial scores worst-case instead of aborting —
 	// before the job flips to StatusFailed. 0 selects 3.
 	FailureBudget int
+	// EventBuffer is each event subscriber's buffered window (SSE
+	// streams, internal consumers). A subscriber lagging further than
+	// this has events dropped from its channel — counted in
+	// events_dropped_slow_consumer — and recovers via Last-Event-ID
+	// resume; the retained history loses nothing. 0 selects 256.
+	EventBuffer int
+	// TraceMaxBytes caps each job's durable trace file: once a file
+	// grows this much past its last compaction it is rewritten
+	// crash-safely (temp + fsync + atomic rename), keeping every curve
+	// point and lifecycle transition and shedding observational events.
+	// Only meaningful with DataDir set. 0 selects 1 MiB; negative
+	// disables compaction.
+	TraceMaxBytes int64
 	// KernelWorkers caps the matmul-kernel goroutines of each pooled
 	// evaluation. 0 selects NumCPU/PoolSize (at least 1) so pool workers ×
 	// kernel workers never oversubscribes the machine. Kernel results are
@@ -99,6 +115,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JournalMaxBytes == 0 {
 		c.JournalMaxBytes = 4 << 20
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 256
+	}
+	if c.TraceMaxBytes == 0 {
+		c.TraceMaxBytes = 1 << 20
 	}
 	if c.EvalAttempts <= 0 {
 		c.EvalAttempts = 2
@@ -151,8 +173,16 @@ type Manager struct {
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 
+	// hub fans each job's telemetry (curve points, rung promotions,
+	// retries, deadline abandonments, failure-budget charges, lifecycle
+	// transitions) out to SSE subscribers; traces, when persistence is
+	// on, durably records the same stream per job behind the hub's sink.
+	hub    *events.Hub
+	traces *tracestore.Store // nil when persistence is disabled
+
 	evals            atomic.Int64
 	trialFailures    atomic.Int64
+	traceErrs        atomic.Int64
 	journalErrs      atomic.Int64
 	shed             atomic.Int64
 	deadlineExceeded atomic.Int64
@@ -185,6 +215,19 @@ func NewManager(cfg Config) *Manager {
 		jobs:       map[string]*Job{},
 		scopes:     map[string]*scopeEntry{},
 	}
+	m.hub = events.NewHub(events.Options{
+		SubscriberBuffer: cfg.EventBuffer,
+		Sink: func(ev events.Event) {
+			// m.traces is set (at most once) before any job can publish,
+			// so this read never races the write in NewManagerFromJournal.
+			if m.traces == nil {
+				return
+			}
+			if err := m.traces.Append(ev); err != nil {
+				m.traceErrs.Add(1)
+			}
+		},
+	})
 	if cfg.ScopeTTL > 0 {
 		go m.scopeJanitor()
 	}
@@ -220,6 +263,11 @@ func NewManagerFromJournal(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	m := NewManager(cfg)
+	traces, err := tracestore.Open(TraceDir(cfg.DataDir), tracestore.Options{MaxBytes: m.cfg.TraceMaxBytes})
+	if err != nil {
+		return nil, err
+	}
+	m.traces = traces
 	maxBytes := m.cfg.JournalMaxBytes
 	if maxBytes < 0 {
 		maxBytes = 0 // negative config value = rotation disabled
@@ -246,6 +294,14 @@ func NewManagerFromJournal(cfg Config) (*Manager, error) {
 			submitted: st.SubmittedAt,
 		}
 		m.register(job)
+		// Re-arm the event feed from the durable trace: sequence numbers
+		// continue where the dead process stopped, and subscribers can
+		// resume (or fetch the full pre-crash curve) across the restart.
+		if evs, err := traces.ReadJob(st.ID); err != nil {
+			m.traceErrs.Add(1)
+		} else {
+			m.hub.Prime(st.ID, evs)
+		}
 		if !st.Terminal() {
 			// Queued when the process died: run it again under this
 			// manager (the compacted journal already holds its submit
@@ -276,8 +332,65 @@ func NewManagerFromJournal(cfg Config) (*Manager, error) {
 			testScore:   st.TestScore,
 			evaluations: st.Evaluations,
 		}
+		if !m.hub.Done(job.ID) {
+			// The trace never saw the final transition (the job was
+			// reclassified at replay, or the process died between the
+			// journal fsync and the trace fsync): close the feed now so
+			// late subscribers get a terminal event instead of hanging.
+			m.publishStatus(job, true, st.FinishedAt)
+		}
 	}
 	return m, nil
+}
+
+// TraceDir is where a data directory keeps its per-job trace files.
+func TraceDir(dataDir string) string {
+	return filepath.Join(dataDir, "traces")
+}
+
+// publish stamps the event time (when unset) and routes it through the
+// hub — and so to SSE subscribers and, when persistence is on, the
+// durable trace store.
+func (m *Manager) publish(jobID string, ev events.Event) {
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	m.hub.Publish(jobID, ev)
+}
+
+// publishStatus emits a lifecycle transition for the job's current
+// state. Terminal transitions close the job's event feed and fsync its
+// trace file.
+func (m *Manager) publishStatus(job *Job, terminal bool, at time.Time) {
+	job.mu.Lock()
+	ev := events.Event{
+		Type:     events.TypeStatus,
+		Time:     at,
+		Status:   string(job.status),
+		Reason:   string(job.reason),
+		Error:    job.errMsg,
+		Terminal: terminal,
+	}
+	job.mu.Unlock()
+	m.publish(job.ID, ev)
+}
+
+// observeTrial is the per-trial observer behind every running job: it
+// folds the trial into the job's incumbent state and streams the new
+// curve point (plus a rung event when the trial entered a new round).
+// Called concurrently by optimizer workers; the job lock is held across
+// record-and-publish so the event stream's curve points arrive in the
+// same order as the job's trial list — the streamed curve is always a
+// prefix of what Snapshot computes. (Lock order job.mu → feed.mu is
+// safe: no hub path takes a job lock.)
+func (m *Manager) observeTrial(job *Job, tr hpo.Trial) {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	pt, newRound, promoted := job.recordTrialLocked(tr)
+	if promoted {
+		m.publish(job.ID, events.Event{Type: events.TypeRung, Round: newRound, Budget: tr.Budget})
+	}
+	m.publish(job.ID, events.Event{Type: events.TypeCurvePoint, Point: &pt})
 }
 
 // register inserts the job into the table, keeping seq ahead of every
@@ -480,6 +593,11 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		err = ctx.Err()
+	}
+	if m.traces != nil {
+		if cerr := m.traces.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	if m.journal != nil {
 		if cerr := m.journal.Close(); cerr != nil && err == nil {
@@ -710,6 +828,11 @@ type Metrics struct {
 	EvaluationsPerSec float64 `json:"evaluations_per_sec"`
 	TrialFailures     int64   `json:"trial_failures"`
 	DeadlineExceeded  int64   `json:"deadline_exceeded"`
+	EventSubscribers  int64   `json:"event_subscribers"`
+	EventsPublished   int64   `json:"events_published"`
+	EventsDropped     int64   `json:"events_dropped_slow_consumer"`
+	TraceStoreBytes   int64   `json:"trace_store_bytes"`
+	TraceStoreErrors  int64   `json:"trace_store_errors"`
 	JournalErrors     int64   `json:"journal_errors"`
 	JournalSegments   int     `json:"journal_segments"`
 	JournalBytes      int64   `json:"journal_bytes"`
@@ -734,7 +857,15 @@ func (m *Manager) Metrics() Metrics {
 		TrialFailures:    m.trialFailures.Load(),
 		DeadlineExceeded: m.deadlineExceeded.Load(),
 		JournalErrors:    m.journalErrs.Load(),
+		TraceStoreErrors: m.traceErrs.Load(),
 		ScopesEvicted:    m.scopesEvicted.Load(),
+	}
+	es := m.hub.Stats()
+	out.EventSubscribers = es.Subscribers
+	out.EventsPublished = es.Published
+	out.EventsDropped = es.Dropped
+	if m.traces != nil {
+		out.TraceStoreBytes = m.traces.Bytes()
 	}
 	if uptime > 0 {
 		out.EvaluationsPerSec = float64(out.Evaluations) / uptime

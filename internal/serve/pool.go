@@ -103,7 +103,9 @@ type pooledEvaluator struct {
 	ctx           context.Context
 	onEval        func()
 	onFailure     func()
-	onDeadline    func()
+	onDeadline    func(budget int)
+	onRetry       func(attempt int, err error)
+	onCharge      func(failures int, absorbed bool)
 	onLatency     func(time.Duration)
 	job           *Job
 	attempts      int
@@ -126,6 +128,9 @@ func (e *pooledEvaluator) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			if e.onRetry != nil {
+				e.onRetry(attempt, lastErr)
+			}
 			if err := e.sleepBackoff(attempt); err != nil {
 				return nil, err
 			}
@@ -162,10 +167,16 @@ func (e *pooledEvaluator) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([
 	if errors.As(lastErr, &pe) {
 		stack = string(pe.stack)
 	}
-	if e.job != nil && e.job.recordEvalFailure(stack, e.failureBudget) {
-		// Absorbed: this trial alone fails, scoring worst-case so the
-		// optimizer ranks the configuration last and moves on.
-		return []float64{0}, nil
+	if e.job != nil {
+		failures, absorbed := e.job.recordEvalFailure(stack, e.failureBudget)
+		if e.onCharge != nil {
+			e.onCharge(failures, absorbed)
+		}
+		if absorbed {
+			// Absorbed: this trial alone fails, scoring worst-case so the
+			// optimizer ranks the configuration last and moves on.
+			return []float64{0}, nil
+		}
 	}
 	return nil, fmt.Errorf("serve: evaluation failed after %d attempts: %w", attempts, lastErr)
 }
@@ -197,7 +208,7 @@ func (e *pooledEvaluator) evalOnce(cfg search.Config, budget int, r *rng.RNG) ([
 		return out.scores, out.err
 	case <-t.C:
 		if e.onDeadline != nil {
-			e.onDeadline()
+			e.onDeadline(budget)
 		}
 		return nil, fmt.Errorf("%w (%s)", errEvalDeadline, e.evalTimeout)
 	case <-e.ctx.Done():

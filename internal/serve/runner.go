@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/events"
 	"enhancedbhpo/internal/hpo"
 	"enhancedbhpo/internal/rng"
 	"enhancedbhpo/internal/search"
@@ -38,6 +39,7 @@ func (m *Manager) run(ctx context.Context, job *Job, cancel context.CancelFunc) 
 	job.started = started
 	job.mu.Unlock()
 	m.journalStatus(job, StatusRunning, started)
+	m.publishStatus(job, false, started)
 
 	// The scope stays pinned (TTL eviction cannot take it) until the
 	// runner is done with it — finish() reads scope.cv and scope.test.
@@ -58,7 +60,7 @@ func (m *Manager) optimize(ctx context.Context, job *Job, scope *evalScope) (*hp
 	if err != nil {
 		return nil, err
 	}
-	comps := scope.comps.WithObserver(job.observe)
+	comps := scope.comps.WithObserver(func(tr hpo.Trial) { m.observeTrial(job, tr) })
 	var inner hpo.Evaluator = scope.cache
 	if m.cfg.WrapEvaluator != nil {
 		// Fault-injection point: sits between the pool gate (with its
@@ -72,9 +74,20 @@ func (m *Manager) optimize(ctx context.Context, job *Job, scope *evalScope) (*hp
 		ctx:       ctx,
 		onEval:    func() { m.evals.Add(1) },
 		onFailure: func() { m.trialFailures.Add(1) },
-		onDeadline: func() {
+		onDeadline: func(budget int) {
 			m.deadlineExceeded.Add(1)
 			m.journalEvent(job, ReasonDeadline)
+			m.publish(job.ID, events.Event{Type: events.TypeDeadline, Budget: budget, Reason: string(ReasonDeadline)})
+		},
+		onRetry: func(attempt int, err error) {
+			m.publish(job.ID, events.Event{Type: events.TypeRetry, Attempt: attempt, Error: err.Error()})
+		},
+		onCharge: func(failures int, absorbed bool) {
+			reason := "absorbed"
+			if !absorbed {
+				reason = "exhausted"
+			}
+			m.publish(job.ID, events.Event{Type: events.TypeFailure, Failures: failures, Reason: reason})
 		},
 		onLatency:     m.observeEvalLatency,
 		job:           job,
@@ -148,7 +161,8 @@ func (m *Manager) finish(job *Job, scope *evalScope, res *hpo.Result, err error)
 	case job.reason == "":
 		job.reason = ReasonShutdown
 	}
-	job.finished = time.Now()
+	finishedAt := time.Now()
+	job.finished = finishedAt
 	if err != nil {
 		job.errMsg = err.Error()
 	}
@@ -156,5 +170,9 @@ func (m *Manager) finish(job *Job, scope *evalScope, res *hpo.Result, err error)
 	job.testScore = testScore
 	job.hasTest = hasTest
 	job.mu.Unlock()
+	// Terminal event before the journal record: the publish fsyncs the
+	// job's trace file and closes its feed, so by the time the journal
+	// says "terminal" the full curve is durably on disk.
+	m.publishStatus(job, true, finishedAt)
 	m.journalTerminal(job)
 }

@@ -7,35 +7,53 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"enhancedbhpo/internal/events"
 	"enhancedbhpo/internal/hpo"
+	"enhancedbhpo/internal/trace"
 )
 
 // Server exposes a Manager over HTTP/JSON.
 //
-//	POST   /jobs        submit a JobSpec, returns the queued job snapshot;
-//	                    429 + Retry-After when the pending queue is full,
-//	                    503 while draining
-//	GET    /jobs        list all jobs (snapshots without curves)
-//	GET    /jobs/{id}   one job's status + live anytime curve
-//	DELETE /jobs/{id}   cancel a job (idempotent on terminal jobs)
-//	GET    /methods     registered optimizers (name, aliases, capabilities)
-//	GET    /healthz     liveness/readiness probe (ok|overloaded|draining)
-//	GET    /metrics     service counters (jobs, pool, cache, eval rate)
+//	POST   /jobs               submit a JobSpec, returns the queued job
+//	                           snapshot; 429 + Retry-After when the pending
+//	                           queue is full, 503 while draining
+//	GET    /jobs               list all jobs (snapshots without curves)
+//	GET    /jobs/{id}          one job's status + live anytime curve;
+//	                           ?since=N returns only curve points past
+//	                           event sequence N (incremental poll)
+//	GET    /jobs/{id}/events   live telemetry as Server-Sent Events with
+//	                           Last-Event-ID resume
+//	GET    /jobs/{id}/trace    the full anytime curve, durable across
+//	                           restarts; ?events=1 for the raw event log
+//	DELETE /jobs/{id}          cancel a job (idempotent on terminal jobs)
+//	GET    /methods            registered optimizers (name, aliases,
+//	                           capabilities)
+//	GET    /healthz            liveness/readiness probe (ok|overloaded|draining)
+//	GET    /metrics            service counters (jobs, pool, cache, events,
+//	                           eval rate)
 type Server struct {
 	manager  *Manager
 	mux      *http.ServeMux
 	draining atomic.Bool
+
+	// drainCh is closed when drain mode turns on, telling long-lived SSE
+	// streams to end so graceful shutdown is not held open by them.
+	drainMu sync.Mutex
+	drainCh chan struct{}
 }
 
 // NewServer wires the HTTP routes around the manager.
 func NewServer(m *Manager) *Server {
-	s := &Server{manager: m, mux: http.NewServeMux()}
+	s := &Server{manager: m, mux: http.NewServeMux(), drainCh: make(chan struct{})}
 	s.mux.HandleFunc("POST /jobs", s.submitJob)
 	s.mux.HandleFunc("GET /jobs", s.listJobs)
 	s.mux.HandleFunc("GET /jobs/{id}", s.getJob)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.jobEvents)
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.jobTrace)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.cancelJob)
 	s.mux.HandleFunc("GET /methods", s.listMethods)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
@@ -50,9 +68,30 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // SetDraining toggles drain mode: while draining, POST /jobs is refused
 // with 503 so in-flight work can finish and be journaled before the
-// daemon exits. Reads (status, metrics, health) keep working.
+// daemon exits, and open SSE event streams are closed so they cannot
+// hold the graceful shutdown open. Reads (status, metrics, health) keep
+// working.
 func (s *Server) SetDraining(on bool) {
 	s.draining.Store(on)
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	select {
+	case <-s.drainCh:
+		if !on {
+			s.drainCh = make(chan struct{})
+		}
+	default:
+		if on {
+			close(s.drainCh)
+		}
+	}
+}
+
+// drainSignal returns the channel closed when drain mode turns on.
+func (s *Server) drainSignal() <-chan struct{} {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.drainCh
 }
 
 // errorBody is the JSON error envelope. Field names the JobSpec field a
@@ -180,7 +219,28 @@ func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Snapshot())
+	snap := job.Snapshot()
+	snap.LastSeq = s.manager.hub.LastSeq(job.ID)
+	if v := r.URL.Query().Get("since"); v != "" {
+		since, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad since %q", v)
+			return
+		}
+		// Incremental poll: only the curve points past event sequence
+		// `since`. The client keeps its own prefix and appends these;
+		// last_seq is the cursor for the next poll. The sparkline is
+		// omitted — it renders the full curve, not a delta.
+		curve := make([]trace.Point, 0)
+		for _, ev := range s.manager.hub.Since(job.ID, since) {
+			if ev.Type == events.TypeCurvePoint && ev.Point != nil {
+				curve = append(curve, *ev.Point)
+			}
+		}
+		snap.Curve = curve
+		snap.Sparkline = ""
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
