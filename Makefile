@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check crash chaos sse bench bench-smoke bench-multicore fmt serve clean
+.PHONY: all build test race vet check crash chaos sse failover bench bench-smoke bench-multicore fmt serve clean
 
 # The kernel/Fit benchmark family captured in BENCH_kernels.json.
 BENCH_PATTERN = BenchmarkMat|BenchmarkFit
@@ -48,6 +48,18 @@ sse:
 	$(GO) test -race -count=1 -run 'TestSSE|TestSlowConsumerDropsCounted|TestGetJobSince|TestTraceSurvivesKillAndRestart|TestMetricsExposeEventCounters' ./internal/serve/
 	$(GO) test -race -count=1 -run 'TestWatch' ./cmd/bhpo/
 
+# Cluster failover suite: the node-kill chaos e2e (a worker killed -9
+# mid-storm must lose zero jobs; a replacement restored from shipped
+# journal segments serves the dead node's jobs with byte-identical
+# pre-crash curves, and an SSE watcher through the coordinator resumes
+# without a sequence gap), plus the hash-ring, shipper and coordinator
+# unit suites. Plain `go test` runs a ~2s storm; BHPOD_CHAOS_SECONDS
+# overrides the length.
+failover:
+	$(GO) test -race -count=1 ./internal/serve/shipper/...
+	BHPOD_CHAOS_SECONDS=30 $(GO) test -race -count=1 -timeout 600s ./internal/coord/
+	$(GO) test -race -count=1 -run 'TestReplayFromShippedMatchesLocal' ./internal/serve/
+
 # Kernel + training-loop benchmarks, recorded as the perf baseline.
 # Writes BENCH_kernels.json (ns/op, B/op, allocs/op per benchmark).
 bench:
@@ -65,7 +77,7 @@ bench-multicore:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . >/dev/null
 
-check: vet race crash chaos sse bench-smoke
+check: vet race crash chaos sse failover bench-smoke
 
 fmt:
 	gofmt -l -w .

@@ -98,12 +98,23 @@ func watchJob(ctx context.Context, client *http.Client, jobURL string, opts watc
 	last := opts.After
 	fails := 0
 	for {
-		terminal, err := streamEvents(ctx, client, eventsURL, &last, t)
+		prev := last
+		terminal, retryable, err := streamEvents(ctx, client, eventsURL, &last, t)
 		if terminal {
 			break
 		}
 		if ctx.Err() != nil {
 			return "", ctx.Err()
+		}
+		if !retryable {
+			// A definitive refusal (unknown job, bad request): retrying
+			// would only repeat it.
+			return "", err
+		}
+		if last > prev {
+			// The connection made progress before dropping; only
+			// *consecutive* fruitless attempts count against the cap.
+			fails = 0
 		}
 		fails++
 		if fails > opts.Retries {
@@ -128,13 +139,16 @@ func watchJob(ctx context.Context, client *http.Client, jobURL string, opts watc
 }
 
 // streamEvents runs one SSE connection, rendering events as they
-// arrive. It reports whether the job's terminal event was seen; any
-// other return means the connection dropped and the caller should
-// resume from *last.
-func streamEvents(ctx context.Context, client *http.Client, eventsURL string, last *uint64, t *ticker) (bool, error) {
+// arrive. It reports whether the job's terminal event was seen and, when
+// it was not, whether the failure is worth retrying: transport errors and
+// gateway/overload statuses (429, 502, 503, 504) are the transient shapes
+// a cluster failover or an overloaded node produces — the caller resumes
+// from *last with backoff, exactly as for a dropped connection. Anything
+// else non-200 (404 unknown job, 400) is definitive and fails fast.
+func streamEvents(ctx context.Context, client *http.Client, eventsURL string, last *uint64, t *ticker) (terminal, retryable bool, _ error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, eventsURL, nil)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
 	if *last > 0 {
@@ -142,12 +156,18 @@ func streamEvents(ctx context.Context, client *http.Client, eventsURL string, la
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return false, err
+		return false, true, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		return false, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+		err := fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return false, true, err
+		}
+		return false, false, err
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
@@ -161,7 +181,8 @@ func streamEvents(ctx context.Context, client *http.Client, eventsURL string, la
 			}
 			var ev events.Event
 			if err := json.Unmarshal(data, &ev); err != nil {
-				return false, fmt.Errorf("decoding event: %w", err)
+				// A torn frame mid-drop: reconnect and resume past *last.
+				return false, true, fmt.Errorf("decoding event: %w", err)
 			}
 			data = nil
 			if ev.Seq <= *last {
@@ -170,7 +191,7 @@ func streamEvents(ctx context.Context, client *http.Client, eventsURL string, la
 			*last = ev.Seq
 			t.render(ev)
 			if ev.Terminal {
-				return true, nil
+				return true, false, nil
 			}
 		case strings.HasPrefix(line, "data:"):
 			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
@@ -178,7 +199,7 @@ func streamEvents(ctx context.Context, client *http.Client, eventsURL string, la
 			// id:/event: lines and comments; the payload repeats both.
 		}
 	}
-	return false, sc.Err()
+	return false, true, sc.Err()
 }
 
 // ticker renders the live feed, keeping the incumbent curve so each

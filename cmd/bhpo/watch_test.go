@@ -2,9 +2,11 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -92,8 +94,98 @@ func TestWatchBadURL(t *testing.T) {
 	}
 }
 
-// TestWatchUnknownJob: a 404 from the events endpoint surfaces as an
-// error once the retry budget is spent.
+// TestWatchRetriesGatewayErrors: 502/503 are what a coordinator answers
+// while a worker fails over — the watch must reconnect with its
+// Last-Event-ID intact, like a dropped connection, not exit. The stub
+// sheds the first two connects with 503 and 502, then serves the feed;
+// the watch must come back carrying the sequence it already had.
+func TestWatchRetriesGatewayErrors(t *testing.T) {
+	var connects atomic.Int64
+	var lastEventID atomic.Value
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /jobs/job-1/events", func(w http.ResponseWriter, r *http.Request) {
+		switch connects.Add(1) {
+		case 1:
+			http.Error(w, "node a is dead; awaiting replacement", http.StatusServiceUnavailable)
+			return
+		case 2:
+			http.Error(w, "bad gateway", http.StatusBadGateway)
+			return
+		}
+		lastEventID.Store(r.Header.Get("Last-Event-ID"))
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "id: 1\ndata: {\"seq\":1,\"type\":\"status\",\"status\":\"running\"}\n\n")
+		fmt.Fprint(w, "id: 2\ndata: {\"seq\":2,\"type\":\"status\",\"status\":\"done\",\"terminal\":true}\n\n")
+	})
+	mux.HandleFunc("GET /jobs/job-1", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"done","evaluations":1}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out strings.Builder
+	status, err := watchJob(context.Background(), http.DefaultClient,
+		ts.URL+"/jobs/job-1", watchOptions{Quiet: true}, &out)
+	if err != nil {
+		t.Fatalf("watch gave up on gateway errors: %v\noutput:\n%s", err, out.String())
+	}
+	if status != "done" {
+		t.Fatalf("terminal status %q, want done", status)
+	}
+	if n := connects.Load(); n != 3 {
+		t.Fatalf("%d connects, want 3 (two shed, one served)", n)
+	}
+	if got := lastEventID.Load(); got != "" {
+		t.Fatalf("Last-Event-ID %q on fresh resume, want empty", got)
+	}
+}
+
+// TestWatchResumesAfterMidStreamFailover: the feed drops mid-stream (a
+// worker died), the next connect is shed with 503 (failover in
+// progress), and the one after serves the rest — the watch must resume
+// past the last sequence it saw, with no events repeated or skipped.
+func TestWatchResumesAfterMidStreamFailover(t *testing.T) {
+	var connects atomic.Int64
+	var resumedFrom atomic.Value
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /jobs/job-1/events", func(w http.ResponseWriter, r *http.Request) {
+		switch connects.Add(1) {
+		case 1:
+			// Two frames, then the node "dies" mid-stream.
+			w.Header().Set("Content-Type", "text/event-stream")
+			fmt.Fprint(w, "id: 1\ndata: {\"seq\":1,\"type\":\"status\",\"status\":\"running\"}\n\n")
+			fmt.Fprint(w, "id: 2\ndata: {\"seq\":2,\"type\":\"curve_point\",\"point\":{\"evaluations\":1}}\n\n")
+			return
+		case 2:
+			http.Error(w, "node a is dead; awaiting replacement", http.StatusServiceUnavailable)
+			return
+		}
+		resumedFrom.Store(r.Header.Get("Last-Event-ID"))
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "id: 3\ndata: {\"seq\":3,\"type\":\"status\",\"status\":\"done\",\"terminal\":true}\n\n")
+	})
+	mux.HandleFunc("GET /jobs/job-1", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"done","evaluations":1}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var out strings.Builder
+	status, err := watchJob(context.Background(), http.DefaultClient,
+		ts.URL+"/jobs/job-1", watchOptions{Quiet: true}, &out)
+	if err != nil {
+		t.Fatalf("watch did not survive the failover: %v\noutput:\n%s", err, out.String())
+	}
+	if status != "done" {
+		t.Fatalf("terminal status %q, want done", status)
+	}
+	if got := resumedFrom.Load(); got != "2" {
+		t.Fatalf("post-failover connect resumed from %q, want %q", got, "2")
+	}
+}
+
+// TestWatchUnknownJob: a 404 from the events endpoint is definitive and
+// fails fast — no retry budget is spent on it.
 func TestWatchUnknownJob(t *testing.T) {
 	jobURL := startJob(t)
 	base := jobURL[:strings.LastIndex(jobURL, "/")]

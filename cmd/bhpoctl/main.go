@@ -1,0 +1,210 @@
+// Command bhpoctl is the bhpod cluster coordinator: it serves the same
+// HTTP API as a single daemon — POST /jobs, GET /jobs/{id}, DELETE,
+// the SSE event feed, /methods, /metrics, /healthz — over a set of
+// worker nodes, so clients (curl, bhpo watch) talk to one address and
+// the cluster looks like one big bhpod.
+//
+// Jobs route by consistent hash on their evaluation-cache scope (the
+// dataset/scale/seed/folds fingerprint), so jobs that share synthesized
+// data and cached fold scores land on the same node and stay warm. Job
+// IDs come back node-qualified ("a:job-3") and every per-job route is
+// resolved from the ID, independent of the ring.
+//
+// The coordinator heartbeats each node's /healthz (EWMA-smoothed RTT,
+// consecutive-failure thresholds) and distinguishes degraded from dead:
+// a degraded node stops receiving new jobs but keeps its existing ones;
+// a dead node's hash range is served by its ring successors, and its
+// per-job routes answer 503 (retryable) until an operator restores the
+// node's shipped replica elsewhere (bhpod -restore-from) and re-points
+// the name with `bhpoctl replace` — after which the same job IDs, the
+// same curves and the same SSE sequence numbers flow from the new
+// machine.
+//
+// Usage:
+//
+//	bhpoctl [-addr :8150] -node a=http://h1:8149 -node b=http://h2:8149 ...
+//	        [-replicas 64] [-probe-interval 1s] [-probe-timeout 1s]
+//	        [-degraded-after 2] [-dead-after 6]
+//	bhpoctl status  [-addr http://localhost:8150]
+//	bhpoctl replace [-addr http://localhost:8150] -node a -url http://h3:8149
+//
+// Extra endpoints beyond the worker API:
+//
+//	GET  /cluster          per-node state (alive/degraded/dead, health,
+//	                       RTT, failure streak)
+//	POST /cluster/replace  {"node": "a", "url": "..."} — point a ring
+//	                       identity at a replacement machine
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"enhancedbhpo/internal/coord"
+)
+
+// nodeFlags collects repeated -node name=url flags.
+type nodeFlags []coord.Node
+
+func (n *nodeFlags) String() string {
+	parts := make([]string, 0, len(*n))
+	for _, nd := range *n {
+		parts = append(parts, nd.Name+"="+nd.URL)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (n *nodeFlags) Set(v string) error {
+	name, url, ok := strings.Cut(v, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("want name=url, got %q", v)
+	}
+	*n = append(*n, coord.Node{Name: name, URL: url})
+	return nil
+}
+
+func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "status":
+			os.Exit(statusMain(os.Args[2:]))
+		case "replace":
+			os.Exit(replaceMain(os.Args[2:]))
+		}
+	}
+	var nodes nodeFlags
+	var (
+		addr      = flag.String("addr", ":8150", "listen address")
+		replicas  = flag.Int("replicas", 0, "virtual nodes per worker on the hash ring (0 = 64)")
+		probeIntv = flag.Duration("probe-interval", time.Second, "heartbeat probe interval")
+		probeTmo  = flag.Duration("probe-timeout", 0, "per-probe timeout (0 = probe interval)")
+		degraded  = flag.Int("degraded-after", 2, "consecutive probe failures before a node is degraded (no new jobs)")
+		dead      = flag.Int("dead-after", 6, "consecutive probe failures before a node is dead (range served by successors)")
+	)
+	flag.Var(&nodes, "node", "worker as name=url (repeatable)")
+	flag.Parse()
+	if len(nodes) == 0 {
+		fmt.Fprintln(os.Stderr, "bhpoctl: at least one -node name=url is required")
+		os.Exit(2)
+	}
+	cfg := coord.Config{
+		Nodes:    nodes,
+		Replicas: *replicas,
+		Probe: coord.ProbeOptions{
+			Interval:      *probeIntv,
+			Timeout:       *probeTmo,
+			DegradedAfter: *degraded,
+			DeadAfter:     *dead,
+		},
+	}
+	if err := run(*addr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "bhpoctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg coord.Config) error {
+	c, err := coord.New(cfg)
+	if err != nil {
+		return err
+	}
+	c.Start()
+	defer c.Shutdown()
+	srv := &http.Server{Addr: addr, Handler: c}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("bhpoctl coordinating %d nodes on %s", len(cfg.Nodes), addr)
+		errc <- srv.ListenAndServe()
+	}()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("bhpoctl: %v, shutting down", sig)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// statusMain implements `bhpoctl status`: pretty-print GET /cluster.
+func statusMain(args []string) int {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8150", "coordinator address")
+	fs.Parse(args)
+	resp, err := http.Get(strings.TrimSuffix(*addr, "/") + "/cluster")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bhpoctl:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	var nodes []coord.NodeStatus
+	if err := json.NewDecoder(resp.Body).Decode(&nodes); err != nil {
+		fmt.Fprintln(os.Stderr, "bhpoctl: decoding:", err)
+		return 1
+	}
+	for _, n := range nodes {
+		line := fmt.Sprintf("%-12s %-9s %-10s rtt=%.1fms pending=%d %s",
+			n.Name, n.State, orDash(n.Health), n.RTTMillis, n.Pending, n.URL)
+		if n.LastError != "" {
+			line += "  (" + n.LastError + ")"
+		}
+		fmt.Println(line)
+	}
+	return 0
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// replaceMain implements `bhpoctl replace`: POST /cluster/replace.
+func replaceMain(args []string) int {
+	fs := flag.NewFlagSet("replace", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8150", "coordinator address")
+	node := fs.String("node", "", "ring identity to re-point")
+	url := fs.String("url", "", "replacement node's URL")
+	fs.Parse(args)
+	if *node == "" || *url == "" {
+		fmt.Fprintln(os.Stderr, "bhpoctl: replace needs -node and -url")
+		return 2
+	}
+	body, _ := json.Marshal(map[string]string{"node": *node, "url": *url})
+	resp, err := http.Post(strings.TrimSuffix(*addr, "/")+"/cluster/replace",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bhpoctl:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "bhpoctl: %s: %s\n", resp.Status, strings.TrimSpace(string(out)))
+		return 1
+	}
+	os.Stdout.Write(out)
+	return 0
+}

@@ -27,6 +27,15 @@
 // serves the full anytime curve even after a crash and restart. `bhpo
 // watch <job-url>` is the terminal client for the feed.
 //
+// As a cluster member the daemon can ship its journal segments and trace
+// files to a replica sink while it runs (-ship-to, either a directory or
+// a peer node's /ship receiver), receive peers' replicas
+// (-ship-recv-dir), and start as a *replacement* for a dead node by
+// restoring a shipped replica into its data directory (-restore-from)
+// before replaying it — mid-run jobs come back as interrupted, trace
+// sequence numbers continue, and the coordinator (bhpoctl) re-points the
+// dead node's name at the new address.
+//
 // Usage:
 //
 //	bhpod [-addr :8149] [-workers N] [-max-jobs 4] [-max-pending 64]
@@ -35,6 +44,8 @@
 //	      [-eval-timeout 0] [-journal-max-bytes 4194304] [-scope-ttl 0]
 //	      [-event-buffer 256] [-trace-max-bytes 1048576]
 //	      [-kernel-workers 0] [-pprof]
+//	      [-node NAME] [-ship-to DIR|URL] [-ship-interval 250ms]
+//	      [-ship-sync] [-ship-recv-dir DIR] [-restore-from DIR]
 //
 // Endpoints:
 //
@@ -51,6 +62,8 @@
 //	DELETE /jobs/{id}          cancel a job (idempotent on finished jobs)
 //	GET    /healthz            health probe ("ok", "overloaded" or "draining")
 //	GET    /metrics            service counters
+//	POST   /ship/{node}/...    peer journal-shipping receiver (only with
+//	                           -ship-recv-dir)
 //	GET    /debug/pprof/*      live profiling (only with -pprof)
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: new submissions are
@@ -70,11 +83,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"enhancedbhpo/internal/serve"
+	"enhancedbhpo/internal/serve/shipper"
 )
 
 func main() {
@@ -96,6 +112,13 @@ func main() {
 		traceMax = flag.Int64("trace-max-bytes", 1<<20, "compact a job's durable trace file once it grows this much past its last compaction (negative = never; needs -data-dir)")
 		kernelW  = flag.Int("kernel-workers", 0, "matmul goroutines per pooled evaluation (0 = NumCPU/workers, so the pool never oversubscribes)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
+
+		nodeName = flag.String("node", "", "cluster node name (ring identity under a bhpoctl coordinator; required with -ship-to)")
+		shipTo   = flag.String("ship-to", "", "replicate the journal + traces to this sink: a directory, or a peer node's URL (its /ship receiver); needs -data-dir and -node")
+		shipIntv = flag.Duration("ship-interval", 250*time.Millisecond, "background ship pass interval")
+		shipSync = flag.Bool("ship-sync", false, "ship synchronously: every journal append reaches the sink before the write returns (a kill -9 loses no acknowledged job)")
+		shipRecv = flag.String("ship-recv-dir", "", "accept peers' shipped replicas under /ship/, stored in this directory")
+		restore  = flag.String("restore-from", "", "before starting, restore a shipped replica (a sink's node directory) into -data-dir — the replacement-node path")
 	)
 	flag.Parse()
 	cfg := serve.Config{
@@ -113,14 +136,90 @@ func main() {
 		EventBuffer:     *eventBuf,
 		TraceMaxBytes:   *traceMax,
 		KernelWorkers:   *kernelW,
+		NodeName:        *nodeName,
 	}
-	if err := run(*addr, cfg, *drainTmo, *pprofOn); err != nil {
+	cluster := clusterFlags{
+		ShipTo:       *shipTo,
+		ShipInterval: *shipIntv,
+		ShipSync:     *shipSync,
+		ShipRecvDir:  *shipRecv,
+		RestoreFrom:  *restore,
+	}
+	if err := run(*addr, cfg, cluster, *drainTmo, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "bhpod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg serve.Config, drainTimeout time.Duration, pprofOn bool) error {
+// clusterFlags carries the journal-shipping and failover options.
+type clusterFlags struct {
+	ShipTo       string
+	ShipInterval time.Duration
+	ShipSync     bool
+	ShipRecvDir  string
+	RestoreFrom  string
+}
+
+// newShipper builds the sink named by -ship-to: an http(s) URL pushes to
+// a peer's /ship receiver; anything else is a local directory, with the
+// node name appended so several nodes can share one sink root.
+func newShipper(dataDir, node string, fl clusterFlags) (*shipper.Shipper, error) {
+	if dataDir == "" {
+		return nil, errors.New("-ship-to needs -data-dir")
+	}
+	if node == "" {
+		return nil, errors.New("-ship-to needs -node")
+	}
+	var sink shipper.Sink
+	if strings.HasPrefix(fl.ShipTo, "http://") || strings.HasPrefix(fl.ShipTo, "https://") {
+		base := strings.TrimSuffix(fl.ShipTo, "/")
+		if !strings.HasSuffix(base, "/ship") {
+			base += "/ship"
+		}
+		s, err := shipper.NewHTTPSink(base, node, nil)
+		if err != nil {
+			return nil, err
+		}
+		sink = s
+	} else {
+		s, err := shipper.NewDirSink(filepath.Join(fl.ShipTo, node))
+		if err != nil {
+			return nil, err
+		}
+		sink = s
+	}
+	return shipper.New(dataDir, sink, shipper.Options{
+		Interval: fl.ShipInterval,
+		Sync:     fl.ShipSync,
+		OnError:  func(err error) { log.Printf("bhpod: ship: %v", err) },
+	}), nil
+}
+
+func run(addr string, cfg serve.Config, cluster clusterFlags, drainTimeout time.Duration, pprofOn bool) error {
+	if cluster.RestoreFrom != "" {
+		if cfg.DataDir == "" {
+			return errors.New("-restore-from needs -data-dir")
+		}
+		if err := shipper.Restore(cluster.RestoreFrom, cfg.DataDir); err != nil {
+			return fmt.Errorf("restoring replica: %w", err)
+		}
+		log.Printf("bhpod: restored shipped replica %s into %s", cluster.RestoreFrom, cfg.DataDir)
+	}
+	var ship *shipper.Shipper
+	if cluster.ShipTo != "" {
+		var err error
+		ship, err = newShipper(cfg.DataDir, cfg.NodeName, cluster)
+		if err != nil {
+			return err
+		}
+		defer ship.Close()
+		cfg.Shipper = ship
+		mode := "async"
+		if cluster.ShipSync {
+			mode = "sync"
+		}
+		log.Printf("bhpod: shipping journal + traces to %s (%s)", cluster.ShipTo, mode)
+	}
 	var manager *serve.Manager
 	var err error
 	if cfg.DataDir != "" {
@@ -134,19 +233,29 @@ func run(addr string, cfg serve.Config, drainTimeout time.Duration, pprofOn bool
 	}
 	handler := serve.NewServer(manager)
 	// The service handler stays addressable (SetDraining below), so the
-	// optional pprof endpoints go on a wrapper mux that falls through to
-	// it for everything else.
+	// optional pprof and /ship endpoints go on a wrapper mux that falls
+	// through to it for everything else.
 	var root http.Handler = handler
-	if pprofOn {
+	if pprofOn || cluster.ShipRecvDir != "" {
 		mux := http.NewServeMux()
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		if pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("bhpod: pprof mounted at /debug/pprof/")
+		}
+		if cluster.ShipRecvDir != "" {
+			recv, err := shipper.NewReceiver(cluster.ShipRecvDir)
+			if err != nil {
+				return err
+			}
+			mux.Handle("/ship/", http.StripPrefix("/ship", recv))
+			log.Printf("bhpod: receiving peer replicas under /ship/ into %s", cluster.ShipRecvDir)
+		}
 		mux.Handle("/", handler)
 		root = mux
-		log.Printf("bhpod: pprof mounted at /debug/pprof/")
 	}
 	srv := &http.Server{
 		Addr:    addr,

@@ -1,0 +1,666 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enhancedbhpo/internal/serve"
+)
+
+// Node names one worker and where to reach it.
+type Node struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Config tunes the Coordinator.
+type Config struct {
+	// Nodes is the initial worker set. Names are ring identities: a
+	// replacement node keeps the dead node's name (POST /cluster/replace)
+	// so its hash range and its node-qualified job IDs stay routable.
+	Nodes []Node
+	// Replicas is the ring's virtual-node count per node. 0 selects 64.
+	Replicas int
+	// Probe tunes the heartbeat prober.
+	Probe ProbeOptions
+	// Client performs all worker requests. nil selects a default with no
+	// overall timeout (SSE streams are long-lived; probes carry their own
+	// per-request timeouts).
+	Client *http.Client
+}
+
+// Coordinator routes the bhpod HTTP API across a cluster of workers.
+//
+// Job placement is by consistent hash on the spec's evaluation-cache
+// scope, so all jobs sharing synthesized data and folds land on one node
+// and hit its warm caches. Job IDs leave the coordinator node-qualified
+// ("a:job-3"); every per-job route parses the node back out, which makes
+// reads independent of the ring (a job stays addressable even after the
+// scope's ownership would hash elsewhere).
+type Coordinator struct {
+	ring   *Ring
+	prober *prober
+	client *http.Client
+	mux    *http.ServeMux
+
+	started time.Time
+
+	jobsRouted     atomic.Int64
+	jobsFailedOver atomic.Int64
+
+	mu    sync.Mutex
+	nodes map[string]string // name → URL
+}
+
+// New wires a coordinator around the node set. Call Start to begin
+// heartbeat probing and Shutdown to stop it.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("coord: no nodes")
+	}
+	c := &Coordinator{
+		ring:    NewRing(cfg.Replicas),
+		client:  cfg.Client,
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+		nodes:   map[string]string{},
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	c.prober = newProber(cfg.Probe, c.client)
+	for _, n := range cfg.Nodes {
+		if n.Name == "" || strings.ContainsAny(n.Name, ":/ ") {
+			return nil, fmt.Errorf("coord: bad node name %q (used in job IDs; no colons, slashes or spaces)", n.Name)
+		}
+		if n.URL == "" {
+			return nil, fmt.Errorf("coord: node %s: empty URL", n.Name)
+		}
+		if _, dup := c.nodes[n.Name]; dup {
+			return nil, fmt.Errorf("coord: duplicate node %q", n.Name)
+		}
+		c.nodes[n.Name] = strings.TrimSuffix(n.URL, "/")
+		c.ring.Add(n.Name)
+		c.prober.track(n.Name, strings.TrimSuffix(n.URL, "/"))
+	}
+	c.mux.HandleFunc("POST /jobs", c.submitJob)
+	c.mux.HandleFunc("GET /jobs", c.listJobs)
+	c.mux.HandleFunc("GET /jobs/{id}", c.jobProxy)
+	c.mux.HandleFunc("DELETE /jobs/{id}", c.jobProxy)
+	c.mux.HandleFunc("GET /jobs/{id}/events", c.jobEvents)
+	c.mux.HandleFunc("GET /jobs/{id}/trace", c.jobSubProxy("trace"))
+	c.mux.HandleFunc("GET /methods", c.listMethods)
+	c.mux.HandleFunc("GET /healthz", c.healthz)
+	c.mux.HandleFunc("GET /metrics", c.metrics)
+	c.mux.HandleFunc("GET /cluster", c.cluster)
+	c.mux.HandleFunc("POST /cluster/replace", c.replaceNode)
+	return c, nil
+}
+
+// Start launches heartbeat probing.
+func (c *Coordinator) Start() { c.prober.start() }
+
+// Shutdown stops the prober.
+func (c *Coordinator) Shutdown() { c.prober.shutdown() }
+
+// ProbeNow runs one synchronous probe round — the test hook (and the
+// replace handler's immediate confirmation) so callers need not wait an
+// interval for verdicts.
+func (c *Coordinator) ProbeNow() { c.prober.probeAll() }
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+// urlOf resolves a node name to its current URL.
+func (c *Coordinator) urlOf(name string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u, ok := c.nodes[name]
+	return u, ok
+}
+
+// qualifyID and splitID translate between a worker's local job ID and the
+// cluster-wide node-qualified form the coordinator hands out.
+func qualifyID(node, id string) string { return node + ":" + id }
+
+func splitID(qualified string) (node, id string, ok bool) {
+	node, id, ok = strings.Cut(qualified, ":")
+	return node, id, ok && node != "" && id != ""
+}
+
+// errorBody mirrors the worker API's JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// routeNode picks the worker for a new job with the given cache scope:
+// the ring owner when servable, else the first servable successor. New
+// work skips degraded nodes (they may be seconds from dead, and a fresh
+// scope is cheap to build elsewhere); a degraded candidate is still
+// preferred over refusing when nothing is fully alive.
+func (c *Coordinator) routeNode(scope string) (string, bool) {
+	candidates := c.ring.Candidates(scope)
+	var degraded string
+	for _, n := range candidates {
+		switch c.prober.stateOf(n) {
+		case StateAlive:
+			return n, true
+		case StateDegraded:
+			if degraded == "" {
+				degraded = n
+			}
+		}
+	}
+	if degraded != "" {
+		return degraded, true
+	}
+	return "", false
+}
+
+// submitJob routes POST /jobs: the spec's evaluation-cache scope picks
+// the worker, the body is forwarded verbatim, and the worker's response
+// flows back with only the job ID rewritten to its node-qualified form.
+// A worker 429 passes through untouched — status, its *priced*
+// Retry-After header and body — so clients back off on the owning node's
+// real backlog, not a number the coordinator made up.
+func (c *Coordinator) submitJob(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var spec serve.JobSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	node, ok := c.routeNode(spec.CacheScope())
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "no servable node for scope")
+		return
+	}
+	nodeURL, _ := c.urlOf(node)
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, nodeURL+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "node %s: %v", node, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		var snap serve.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			writeError(w, http.StatusBadGateway, "node %s: decoding response: %v", node, err)
+			return
+		}
+		snap.ID = qualifyID(node, snap.ID)
+		c.jobsRouted.Add(1)
+		writeJSON(w, http.StatusAccepted, snap)
+		return
+	}
+	// Anything else — 429 with its priced Retry-After, a validation 400,
+	// a draining 503 — passes through verbatim.
+	copyResponse(w, resp)
+}
+
+// copyResponse relays a worker response verbatim: status, headers, body.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	for k, vals := range resp.Header {
+		for _, v := range vals {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// resolveJob maps a node-qualified job ID to (node, local ID, node URL),
+// writing the error response itself when the ID or node is unusable. A
+// dead node yields 503 — retryable, because a replacement adopting the
+// node's identity will serve the same ID — where an unknown node name is
+// a hard 404.
+func (c *Coordinator) resolveJob(w http.ResponseWriter, qualified string) (node, id, nodeURL string, ok bool) {
+	node, id, ok = splitID(qualified)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q (cluster job IDs are node-qualified, e.g. %q)", qualified, "a:job-1")
+		return "", "", "", false
+	}
+	nodeURL, known := c.urlOf(node)
+	if !known {
+		writeError(w, http.StatusNotFound, "no node %q", node)
+		return "", "", "", false
+	}
+	if c.prober.stateOf(node) == StateDead {
+		writeError(w, http.StatusServiceUnavailable, "node %s is dead; awaiting replacement", node)
+		return "", "", "", false
+	}
+	return node, id, nodeURL, true
+}
+
+// jobProxy forwards GET/DELETE /jobs/{id} to the owning node, rewriting
+// the returned snapshot's ID back to its qualified form.
+func (c *Coordinator) jobProxy(w http.ResponseWriter, r *http.Request) {
+	node, id, nodeURL, ok := c.resolveJob(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	u := nodeURL + "/jobs/" + id
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "node %s: %v", node, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		var snap serve.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			writeError(w, http.StatusBadGateway, "node %s: decoding response: %v", node, err)
+			return
+		}
+		snap.ID = qualifyID(node, snap.ID)
+		writeJSON(w, resp.StatusCode, snap)
+		return
+	}
+	copyResponse(w, resp)
+}
+
+// jobSubProxy forwards GET /jobs/{id}/<sub> verbatim (trace payloads have
+// no embedded job ID to rewrite).
+func (c *Coordinator) jobSubProxy(sub string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		node, id, nodeURL, ok := c.resolveJob(w, r.PathValue("id"))
+		if !ok {
+			return
+		}
+		u := nodeURL + "/jobs/" + id + "/" + sub
+		if r.URL.RawQuery != "" {
+			u += "?" + r.URL.RawQuery
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u, nil)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "node %s: %v", node, err)
+			return
+		}
+		defer resp.Body.Close()
+		copyResponse(w, resp)
+	}
+}
+
+// flushWriter flushes after every write so proxied SSE frames reach the
+// client as they happen, not when a buffer fills.
+type flushWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}
+
+// jobEvents proxies the SSE stream. Last-Event-ID passes through to the
+// worker, whose event hub replays the backlog past it — so a client that
+// reconnects through the coordinator after a worker failover resumes
+// exactly where it left off (the replacement primes its hub from the
+// shipped trace, continuing the same sequence numbers). The upstream
+// request rides the client's context: when the watcher hangs up, the
+// worker sees the cancel and releases its subscriber.
+func (c *Coordinator) jobEvents(w http.ResponseWriter, r *http.Request) {
+	node, id, nodeURL, ok := c.resolveJob(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, nodeURL+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+		req.Header.Set("Last-Event-ID", lid)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "node %s: %v", node, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		copyResponse(w, resp)
+		return
+	}
+	for k, vals := range resp.Header {
+		for _, v := range vals {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	io.Copy(flushWriter{w: w, f: flusher}, resp.Body)
+}
+
+// listJobs fans GET /jobs out to every non-dead node and merges the
+// snapshots under qualified IDs, sorted by ID for a stable listing. A
+// node that cannot answer contributes nothing rather than failing the
+// whole listing — the cluster view degrades, it does not disappear.
+func (c *Coordinator) listJobs(w http.ResponseWriter, r *http.Request) {
+	type nodeJobs struct {
+		node  string
+		snaps []serve.Snapshot
+	}
+	c.mu.Lock()
+	names := make([]string, 0, len(c.nodes))
+	for name := range c.nodes {
+		names = append(names, name)
+	}
+	c.mu.Unlock()
+	results := make(chan nodeJobs, len(names))
+	var wg sync.WaitGroup
+	for _, name := range names {
+		if c.prober.stateOf(name) == StateDead {
+			continue
+		}
+		nodeURL, _ := c.urlOf(name)
+		wg.Add(1)
+		go func(name, nodeURL string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, nodeURL+"/jobs", nil)
+			if err != nil {
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var snaps []serve.Snapshot
+			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&snaps) != nil {
+				return
+			}
+			results <- nodeJobs{node: name, snaps: snaps}
+		}(name, nodeURL)
+	}
+	wg.Wait()
+	close(results)
+	out := make([]serve.Snapshot, 0)
+	for nj := range results {
+		for _, snap := range nj.snaps {
+			snap.ID = qualifyID(nj.node, snap.ID)
+			out = append(out, snap)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// listMethods forwards GET /methods to the first servable node — the
+// method registry is compiled into every worker, so any one speaks for
+// the cluster.
+func (c *Coordinator) listMethods(w http.ResponseWriter, r *http.Request) {
+	for _, name := range c.ring.Nodes() {
+		if c.prober.stateOf(name) == StateDead {
+			continue
+		}
+		nodeURL, _ := c.urlOf(name)
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, nodeURL+"/methods", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			continue
+		}
+		copyResponse(w, resp)
+		resp.Body.Close()
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "no servable node")
+}
+
+// clusterHealth is the aggregate GET /healthz payload.
+type clusterHealth struct {
+	// Status summarizes the cluster with the same vocabulary the nodes
+	// use, plus degraded and dead: ok (every node alive and accepting),
+	// degraded (some capacity lost, writes still land), overloaded (every
+	// live node is shedding — a fully-shed cluster is overloaded, not
+	// dead), draining, or dead (no node answers).
+	Status     string       `json:"status"`
+	NodesAlive int          `json:"nodes_alive"`
+	NodesTotal int          `json:"nodes_total"`
+	UptimeSec  float64      `json:"uptime_sec"`
+	Nodes      []NodeStatus `json:"nodes"`
+}
+
+// aggregateStatus folds per-node verdicts into one cluster status.
+func aggregateStatus(nodes []NodeStatus) (status string, alive int) {
+	var aliveOK, overloaded, draining, impaired int
+	for _, n := range nodes {
+		if n.State == StateDead {
+			impaired++
+			continue
+		}
+		alive++
+		if n.State == StateDegraded {
+			impaired++
+			continue
+		}
+		switch n.Health {
+		case "overloaded":
+			overloaded++
+		case "draining":
+			draining++
+		default:
+			aliveOK++
+		}
+	}
+	switch {
+	case aliveOK > 0 && impaired == 0 && overloaded == 0 && draining == 0:
+		return "ok", alive
+	case aliveOK > 0:
+		return "degraded", alive
+	case overloaded > 0:
+		// Every reachable node is shedding by admission control: the
+		// cluster is overloaded — alive, pricing retries — not dead.
+		return "overloaded", alive
+	case draining > 0:
+		return "draining", alive
+	case alive > 0:
+		return "degraded", alive
+	default:
+		return "dead", alive
+	}
+}
+
+func (c *Coordinator) healthz(w http.ResponseWriter, r *http.Request) {
+	nodes := c.prober.status()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	status, alive := aggregateStatus(nodes)
+	writeJSON(w, http.StatusOK, clusterHealth{
+		Status:     status,
+		NodesAlive: alive,
+		NodesTotal: len(nodes),
+		UptimeSec:  time.Since(c.started).Seconds(),
+		Nodes:      nodes,
+	})
+}
+
+// ClusterMetrics is the aggregate GET /metrics payload: cluster counters
+// plus each live node's own metrics under its name.
+type ClusterMetrics struct {
+	NodesAlive      int     `json:"nodes_alive"`
+	NodesTotal      int     `json:"nodes_total"`
+	JobsRouted      int64   `json:"jobs_routed"`
+	JobsFailedOver  int64   `json:"jobs_failed_over"`
+	UptimeSec       float64 `json:"uptime_sec"`
+	JobsQueued      int     `json:"jobs_queued"`
+	JobsRunning     int     `json:"jobs_running"`
+	JobsDone        int     `json:"jobs_done"`
+	JobsFailed      int     `json:"jobs_failed"`
+	JobsCancelled   int     `json:"jobs_cancelled"`
+	PendingDepth    int     `json:"pending_depth"`
+	Evaluations     int64   `json:"evaluations"`
+	SegmentsShipped int64   `json:"segments_shipped"`
+	ShipRetries     int64   `json:"ship_retries"`
+	ShipBytes       int64   `json:"ship_bytes"`
+
+	Nodes map[string]serve.Metrics `json:"nodes"`
+}
+
+// metrics aggregates every live node's /metrics. Sums cover the headline
+// counters (job states, evaluations, shipping); the full per-node payloads
+// ride along for anything finer.
+func (c *Coordinator) metrics(w http.ResponseWriter, r *http.Request) {
+	statuses := c.prober.status()
+	out := ClusterMetrics{
+		NodesTotal:     len(statuses),
+		JobsRouted:     c.jobsRouted.Load(),
+		JobsFailedOver: c.jobsFailedOver.Load(),
+		UptimeSec:      time.Since(c.started).Seconds(),
+		Nodes:          map[string]serve.Metrics{},
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, st := range statuses {
+		if st.State == StateDead {
+			continue
+		}
+		out.NodesAlive++
+		wg.Add(1)
+		go func(name, nodeURL string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, nodeURL+"/metrics", nil)
+			if err != nil {
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var m serve.Metrics
+			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&m) != nil {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			out.Nodes[name] = m
+			out.JobsQueued += m.JobsQueued
+			out.JobsRunning += m.JobsRunning
+			out.JobsDone += m.JobsDone
+			out.JobsFailed += m.JobsFailed
+			out.JobsCancelled += m.JobsCancelled
+			out.PendingDepth += m.PendingDepth
+			out.Evaluations += m.Evaluations
+			out.SegmentsShipped += m.SegmentsShipped
+			out.ShipRetries += m.ShipRetries
+			out.ShipBytes += m.ShipBytes
+		}(st.Name, st.URL)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// cluster serves the node table (GET /cluster).
+func (c *Coordinator) cluster(w http.ResponseWriter, r *http.Request) {
+	nodes := c.prober.status()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	writeJSON(w, http.StatusOK, nodes)
+}
+
+// replaceBody is the POST /cluster/replace request: point an existing
+// ring identity at a new URL.
+type replaceBody struct {
+	Node string `json:"node"`
+	URL  string `json:"url"`
+}
+
+// replaceNode swaps a node's URL, keeping its ring identity — the
+// failover step after a machine dies: the operator restores the dead
+// node's shipped replica onto a fresh machine (bhpod -restore-from),
+// starts it under the same -node name, and points the coordinator here.
+// The hash range, the node-qualified job IDs and the SSE sequence
+// numbering all survive because the *name* is the identity; only the
+// address changed. The replacement's adopted jobs count into
+// jobs_failed_over.
+func (c *Coordinator) replaceNode(w http.ResponseWriter, r *http.Request) {
+	var body replaceBody
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding: %v", err)
+		return
+	}
+	if body.URL == "" {
+		writeError(w, http.StatusBadRequest, "empty url")
+		return
+	}
+	newURL := strings.TrimSuffix(body.URL, "/")
+	c.mu.Lock()
+	_, known := c.nodes[body.Node]
+	if known {
+		c.nodes[body.Node] = newURL
+	}
+	c.mu.Unlock()
+	if !known {
+		writeError(w, http.StatusNotFound, "no node %q", body.Node)
+		return
+	}
+	c.prober.track(body.Node, newURL)
+	// Count the adopted jobs (best-effort: the replacement just replayed
+	// the shipped journal, so its job table is the dead node's).
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, newURL+"/jobs", nil)
+	if err == nil {
+		if resp, err := c.client.Do(req); err == nil {
+			var snaps []serve.Snapshot
+			if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&snaps) == nil {
+				c.jobsFailedOver.Add(int64(len(snaps)))
+			}
+			resp.Body.Close()
+		}
+	}
+	c.ProbeNow()
+	nodes := c.prober.status()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	writeJSON(w, http.StatusOK, nodes)
+}

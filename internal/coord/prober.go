@@ -1,0 +1,278 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// NodeState is the prober's verdict on one worker.
+type NodeState string
+
+const (
+	// StateAlive: the node answers /healthz. Its reported health (ok,
+	// overloaded, draining) is carried separately — an overloaded node is
+	// alive, just shedding writes.
+	StateAlive NodeState = "alive"
+	// StateDegraded: a few consecutive probes failed. The router stops
+	// sending *new* jobs to it but existing jobs still resolve there —
+	// a GC pause or transient partition should not scatter a scope's
+	// jobs across the ring.
+	StateDegraded NodeState = "degraded"
+	// StateDead: failures crossed the dead threshold. The node's hash
+	// range is served by its ring successors until a replacement (restored
+	// from shipped journal segments) takes over its identity.
+	StateDead NodeState = "dead"
+)
+
+// ProbeOptions tunes the heartbeat prober.
+type ProbeOptions struct {
+	// Interval paces the probe loop. 0 selects 1s.
+	Interval time.Duration
+	// Timeout bounds one probe request. 0 selects Interval (a probe never
+	// overlaps the next round).
+	Timeout time.Duration
+	// DegradedAfter is the consecutive-failure count that demotes a node
+	// to degraded. 0 selects 2.
+	DegradedAfter int
+	// DeadAfter is the consecutive-failure count that declares a node
+	// dead. 0 selects 6.
+	DeadAfter int
+	// Alpha is the RTT EWMA smoothing factor in (0, 1]. 0 selects 0.3.
+	Alpha float64
+}
+
+func (o ProbeOptions) withDefaults() ProbeOptions {
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = o.Interval
+	}
+	if o.DegradedAfter <= 0 {
+		o.DegradedAfter = 2
+	}
+	if o.DeadAfter <= 0 {
+		o.DeadAfter = 6
+	}
+	if o.DeadAfter < o.DegradedAfter {
+		o.DeadAfter = o.DegradedAfter
+	}
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		o.Alpha = 0.3
+	}
+	return o
+}
+
+// NodeStatus is one node's probed condition, served by GET /cluster.
+type NodeStatus struct {
+	Name  string    `json:"name"`
+	URL   string    `json:"url"`
+	State NodeState `json:"state"`
+	// Health is the node's own /healthz status vocabulary (ok, overloaded,
+	// draining); empty until the first successful probe.
+	Health string `json:"health,omitempty"`
+	// RTTMillis is the EWMA-smoothed probe round-trip time.
+	RTTMillis float64 `json:"rtt_ms,omitempty"`
+	// Fails is the current consecutive-failure streak.
+	Fails int `json:"fails,omitempty"`
+	// LastError is the most recent probe failure, cleared on success.
+	LastError string `json:"last_error,omitempty"`
+	// Pending is the node's reported pending-queue depth.
+	Pending int `json:"pending"`
+}
+
+// prober maintains per-node liveness by polling each worker's /healthz.
+// A node starts alive (optimistically — the router should not refuse
+// traffic before the first probe lands) and moves through degraded to
+// dead on consecutive failures; one success fully restores it.
+type prober struct {
+	opts   ProbeOptions
+	client *http.Client
+
+	mu    sync.Mutex
+	nodes map[string]*probeEntry
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type probeEntry struct {
+	url     string
+	state   NodeState
+	health  string
+	rttMs   float64
+	fails   int
+	lastErr string
+	pending int
+}
+
+// newProber returns a prober tracking no nodes; start launches its loop.
+func newProber(opts ProbeOptions, client *http.Client) *prober {
+	opts = opts.withDefaults()
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &prober{
+		opts:   opts,
+		client: client,
+		nodes:  map[string]*probeEntry{},
+		stop:   make(chan struct{}),
+	}
+}
+
+// track adds (or re-points) a node. Re-pointing resets the node to a
+// fresh alive state: a replacement deserves a clean failure streak.
+func (p *prober) track(name, url string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nodes[name] = &probeEntry{url: url, state: StateAlive}
+}
+
+// urlOf returns the node's current URL ("" if untracked).
+func (p *prober) urlOf(name string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.nodes[name]; ok {
+		return e.url
+	}
+	return ""
+}
+
+// stateOf returns the node's state (StateDead if untracked).
+func (p *prober) stateOf(name string) NodeState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.nodes[name]; ok {
+		return e.state
+	}
+	return StateDead
+}
+
+// status snapshots every tracked node.
+func (p *prober) status() []NodeStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]NodeStatus, 0, len(p.nodes))
+	for name, e := range p.nodes {
+		out = append(out, NodeStatus{
+			Name:      name,
+			URL:       e.url,
+			State:     e.state,
+			Health:    e.health,
+			RTTMillis: e.rttMs,
+			Fails:     e.fails,
+			LastError: e.lastErr,
+			Pending:   e.pending,
+		})
+	}
+	return out
+}
+
+// start launches the probe loop; close stop to end it.
+func (p *prober) start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTicker(p.opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.probeAll()
+			}
+		}
+	}()
+}
+
+// shutdown stops the loop and waits for it.
+func (p *prober) shutdown() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// probeAll probes every tracked node concurrently and waits for the round.
+func (p *prober) probeAll() {
+	p.mu.Lock()
+	names := make([]string, 0, len(p.nodes))
+	urls := make([]string, 0, len(p.nodes))
+	for name, e := range p.nodes {
+		names = append(names, name)
+		urls = append(urls, e.url)
+	}
+	p.mu.Unlock()
+	var wg sync.WaitGroup
+	for i := range names {
+		wg.Add(1)
+		go func(name, url string) {
+			defer wg.Done()
+			p.probeOne(name, url)
+		}(names[i], urls[i])
+	}
+	wg.Wait()
+}
+
+// probeOne hits one node's /healthz and folds the outcome into its entry.
+// Any transport error or non-200 is a failure; a 200 with any status
+// vocabulary (ok, overloaded, draining) is a success — an overloaded node
+// is alive and must not be declared dead, it is shedding by design.
+func (p *prober) probeOne(name, url string) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.opts.Timeout)
+	defer cancel()
+	start := time.Now()
+	var body struct {
+		Status  string `json:"status"`
+		Pending int    `json:"pending"`
+	}
+	err := func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := p.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("healthz: %s", resp.Status)
+		}
+		return json.NewDecoder(resp.Body).Decode(&body)
+	}()
+	rtt := time.Since(start)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.nodes[name]
+	if !ok || e.url != url {
+		// Replaced mid-probe: the verdict belongs to the old URL.
+		return
+	}
+	if err != nil {
+		e.fails++
+		e.lastErr = err.Error()
+		switch {
+		case e.fails >= p.opts.DeadAfter:
+			e.state = StateDead
+		case e.fails >= p.opts.DegradedAfter:
+			e.state = StateDegraded
+		}
+		return
+	}
+	e.fails = 0
+	e.lastErr = ""
+	e.state = StateAlive
+	e.health = body.Status
+	e.pending = body.Pending
+	ms := float64(rtt) / float64(time.Millisecond)
+	if e.rttMs == 0 {
+		e.rttMs = ms
+	} else {
+		e.rttMs = (1-p.opts.Alpha)*e.rttMs + p.opts.Alpha*ms
+	}
+}

@@ -1,0 +1,180 @@
+package coord
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys synthesizes a deterministic key population shaped like real
+// routing keys (cache scopes).
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("dataset-%d|0.35|%d|4|20|false|vanilla", i%13, i)
+	}
+	return keys
+}
+
+// TestRingOwnerStableAcrossRebuilds: placement must depend only on the
+// member set, never on insertion order or ring history — a restarted
+// coordinator has to route every scope exactly where its predecessor
+// did. Table-driven over cluster shapes; each is rebuilt in reversed
+// insertion order and after a remove/re-add churn.
+func TestRingOwnerStableAcrossRebuilds(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes []string
+	}{
+		{"single", []string{"a"}},
+		{"pair", []string{"a", "b"}},
+		{"trio", []string{"a", "b", "c"}},
+		{"ten", []string{"n0", "n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8", "n9"}},
+	}
+	keys := ringKeys(2000)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			forward := NewRing(0)
+			for _, n := range tc.nodes {
+				forward.Add(n)
+			}
+			reversed := NewRing(0)
+			for i := len(tc.nodes) - 1; i >= 0; i-- {
+				reversed.Add(tc.nodes[i])
+			}
+			churned := NewRing(0)
+			for _, n := range tc.nodes {
+				churned.Add(n)
+			}
+			churned.Remove(tc.nodes[0])
+			churned.Add(tc.nodes[0])
+			for _, k := range keys {
+				want := forward.Owner(k)
+				if got := reversed.Owner(k); got != want {
+					t.Fatalf("key %q: reversed-order ring owner %q, want %q", k, got, want)
+				}
+				if got := churned.Owner(k); got != want {
+					t.Fatalf("key %q: churned ring owner %q, want %q", k, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRingAddRemapsOnlyExpectedFraction: growing an N-node ring to N+1
+// must move roughly 1/(N+1) of the keys — and every moved key must move
+// *to* the new node, never between old nodes.
+func TestRingAddRemapsOnlyExpectedFraction(t *testing.T) {
+	const n = 10
+	keys := ringKeys(5000)
+	r := NewRing(0)
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	r.Add("fresh")
+	moved := 0
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after == before[k] {
+			continue
+		}
+		moved++
+		if after != "fresh" {
+			t.Fatalf("key %q moved %q → %q: keys may only move to the added node", k, before[k], after)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	ideal := 1.0 / float64(n+1)
+	if frac < ideal/2 || frac > ideal*2 {
+		t.Fatalf("add remapped %.1f%% of keys, want within [%.1f%%, %.1f%%] of ideal %.1f%%",
+			frac*100, ideal*50, ideal*200, ideal*100)
+	}
+}
+
+// TestRingRemoveRemapsOnlyOwnedKeys: removing a node must not move any
+// key the node did not own.
+func TestRingRemoveRemapsOnlyOwnedKeys(t *testing.T) {
+	keys := ringKeys(5000)
+	r := NewRing(0)
+	nodes := []string{"a", "b", "c", "d", "e"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	before := make(map[string]string, len(keys))
+	owned := 0
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+		if before[k] == "c" {
+			owned++
+		}
+	}
+	if owned == 0 {
+		t.Fatal("test population gave node c no keys; enlarge it")
+	}
+	r.Remove("c")
+	for _, k := range keys {
+		after := r.Owner(k)
+		if before[k] != "c" && after != before[k] {
+			t.Fatalf("key %q owned by %q moved to %q when unrelated node c left", k, before[k], after)
+		}
+		if after == "c" {
+			t.Fatalf("key %q still routed to removed node c", k)
+		}
+	}
+}
+
+// TestRingCandidates: the preference order must start at the owner,
+// list every member exactly once, and agree with what the ring does when
+// the owner actually leaves — property-checked across the key population.
+func TestRingCandidates(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	for _, k := range ringKeys(300) {
+		r := NewRing(0)
+		for _, n := range nodes {
+			r.Add(n)
+		}
+		cands := r.Candidates(k)
+		if len(cands) != len(nodes) {
+			t.Fatalf("key %q: %d candidates, want %d", k, len(cands), len(nodes))
+		}
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("key %q: duplicate candidate %q", k, c)
+			}
+			seen[c] = true
+		}
+		if cands[0] != r.Owner(k) {
+			t.Fatalf("key %q: first candidate %q != owner %q", k, cands[0], r.Owner(k))
+		}
+		// Failover agreement: with the owner gone, ownership falls to the
+		// second candidate.
+		r.Remove(cands[0])
+		if got := r.Owner(k); got != cands[1] {
+			t.Fatalf("key %q: owner after removing %q is %q, want second candidate %q",
+				k, cands[0], got, cands[1])
+		}
+	}
+}
+
+// TestRingEmptyAndSingle: degenerate shapes must not panic.
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner %q, want empty", got)
+	}
+	if got := r.Candidates("k"); got != nil {
+		t.Fatalf("empty ring candidates %v, want nil", got)
+	}
+	r.Add("only")
+	if got := r.Owner("k"); got != "only" {
+		t.Fatalf("single-node owner %q", got)
+	}
+	r.Remove("only")
+	if got := r.Owner("k"); got != "" {
+		t.Fatalf("owner %q after removing the only node", got)
+	}
+}

@@ -218,7 +218,7 @@ func TestConcurrentPublishSubscribe(t *testing.T) {
 		go func(p int) {
 			defer pubWG.Done()
 			for i := 0; i < perPub; i++ {
-				h.Publish("j", curveEvent(p*perPub + i))
+				h.Publish("j", curveEvent(p*perPub+i))
 			}
 		}(p)
 	}

@@ -139,11 +139,15 @@ func (s JobSpec) Validate() error {
 	return nil
 }
 
-// cacheScope is the evaluation-cache key prefix: everything that shapes
+// CacheScope is the evaluation-cache key prefix: everything that shapes
 // what Evaluate(config, budget, rng) computes — the data, the base model
 // and the fold machinery — but not the search itself. Jobs agreeing on
-// this string share cached fold scores.
-func (s JobSpec) cacheScope() string {
+// this string share cached fold scores, which is also why the cluster
+// coordinator routes jobs by it: co-locating a scope's jobs on one node
+// keeps its memoized evaluations warm. Defaults are applied first so an
+// un-defaulted client spec maps to the same scope the worker computes.
+func (s JobSpec) CacheScope() string {
+	s = s.withDefaults()
 	variant := "vanilla"
 	if s.Enhanced {
 		variant = "enhanced"

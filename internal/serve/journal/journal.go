@@ -196,6 +196,16 @@ type Options struct {
 	// OnError receives background fold errors (the live append path is
 	// unaffected by a failed fold; the data stays in the sealed segments).
 	OnError func(error)
+	// OnAppend, when non-nil, is called after each record lands in the
+	// active segment (after the terminal fsync for result records) with
+	// the segment's file name — the shipper's incremental-replication
+	// hook. Called with the writer lock held; it must not call back into
+	// the writer.
+	OnAppend func(name string)
+	// OnSeal, when non-nil, is called when a segment's content becomes
+	// final: rotation sealing the active segment, and a background fold
+	// publishing a new base. Same re-entrancy rule as OnAppend.
+	OnSeal func(name string)
 }
 
 // Writer appends records to a data directory's journal, rotating the
@@ -204,6 +214,8 @@ type Writer struct {
 	dir      string
 	maxBytes int64
 	onError  func(error)
+	onAppend func(name string)
+	onSeal   func(name string)
 
 	mu     sync.Mutex
 	f      *os.File
@@ -252,10 +264,20 @@ func OpenOptions(dir string, opts Options) (*Writer, error) {
 		dir:      dir,
 		maxBytes: opts.MaxBytes,
 		onError:  opts.OnError,
+		onAppend: opts.OnAppend,
+		onSeal:   opts.OnSeal,
 		f:        f,
 		seq:      seq,
 		size:     st.Size(),
 	}, nil
+}
+
+// ActiveSegment returns the file name of the segment currently receiving
+// appends — what a startup replication sync must treat as still growing.
+func (w *Writer) ActiveSegment() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return segmentName(w.seq)
 }
 
 // Append writes one record as a JSON line. Terminal (result) records are
@@ -284,6 +306,9 @@ func (w *Writer) Append(rec Record) error {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("journal: fsync: %w", err)
 		}
+	}
+	if w.onAppend != nil {
+		w.onAppend(segmentName(w.seq))
 	}
 	if w.maxBytes > 0 && w.size >= w.maxBytes {
 		if err := w.rotateLocked(); err != nil {
@@ -315,11 +340,20 @@ func (w *Writer) rotateLocked() error {
 	}
 	w.f = f
 	w.size = 0
+	if w.onSeal != nil {
+		w.onSeal(segmentName(sealed))
+	}
 	w.foldWG.Add(1)
 	go func() {
 		defer w.foldWG.Done()
-		if err := foldDir(w.dir, sealed); err != nil && w.onError != nil {
-			w.onError(err)
+		if err := foldDir(w.dir, sealed); err != nil {
+			if w.onError != nil {
+				w.onError(err)
+			}
+			return
+		}
+		if w.onSeal != nil {
+			w.onSeal(baseName(sealed))
 		}
 	}()
 	return nil

@@ -19,6 +19,7 @@ import (
 	"enhancedbhpo/internal/rng"
 	"enhancedbhpo/internal/serve/evalcache"
 	"enhancedbhpo/internal/serve/journal"
+	"enhancedbhpo/internal/serve/shipper"
 	"enhancedbhpo/internal/serve/tracestore"
 	"enhancedbhpo/internal/trace"
 )
@@ -98,6 +99,18 @@ type Config struct {
 	// by the crash/restart and chaos tests and is applied per job as the
 	// job starts optimizing.
 	WrapEvaluator func(jobID string, inner hpo.Evaluator) hpo.Evaluator
+	// NodeName identifies this daemon in a cluster: it is surfaced in
+	// /healthz and /metrics so a coordinator's probes and a replacement
+	// node's operators can tell nodes apart. Empty outside a cluster.
+	NodeName string
+	// Shipper, when non-nil, replicates the journal and trace files to
+	// its sink as they grow and seal, so a replacement node can rebuild
+	// this node's job table after the machine dies (shipper.Restore +
+	// NewManagerFromJournal). Requires DataDir. The manager wires the
+	// journal and trace-store hooks; ownership (Close) stays with the
+	// caller, which should close it after Shutdown so the final state
+	// flushes.
+	Shipper *shipper.Shipper
 }
 
 func (c Config) withDefaults() Config {
@@ -263,7 +276,20 @@ func NewManagerFromJournal(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	m := NewManager(cfg)
-	traces, err := tracestore.Open(TraceDir(cfg.DataDir), tracestore.Options{MaxBytes: m.cfg.TraceMaxBytes})
+	traceOpts := tracestore.Options{MaxBytes: m.cfg.TraceMaxBytes}
+	if ship := cfg.Shipper; ship != nil {
+		// Trace files ship under their directory-relative name so a
+		// restored replica has the same traces/ layout the manager opens.
+		traceOpts.OnChange = func(name string, final bool) {
+			rel := "traces/" + name
+			if final {
+				ship.Sealed(rel)
+			} else {
+				ship.Changed(rel)
+			}
+		}
+	}
+	traces, err := tracestore.Open(TraceDir(cfg.DataDir), traceOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -272,14 +298,25 @@ func NewManagerFromJournal(cfg Config) (*Manager, error) {
 	if maxBytes < 0 {
 		maxBytes = 0 // negative config value = rotation disabled
 	}
-	w, err := journal.OpenOptions(cfg.DataDir, journal.Options{
+	jopts := journal.Options{
 		MaxBytes: maxBytes,
 		OnError:  func(error) { m.journalErrs.Add(1) },
-	})
+	}
+	if ship := cfg.Shipper; ship != nil {
+		jopts.OnAppend = ship.Changed
+		jopts.OnSeal = ship.Sealed
+	}
+	w, err := journal.OpenOptions(cfg.DataDir, jopts)
 	if err != nil {
 		return nil, err
 	}
 	m.journal = w
+	if cfg.Shipper != nil {
+		// Ship whatever is already on disk (compacted bases, sealed
+		// segments, pre-crash traces) so the replica is complete even for
+		// files that will never change again.
+		cfg.Shipper.SnapshotRoot(w.ActiveSegment())
+	}
 	for _, st := range states {
 		var spec JobSpec
 		if len(st.Spec) > 0 {
@@ -347,6 +384,10 @@ func NewManagerFromJournal(cfg Config) (*Manager, error) {
 func TraceDir(dataDir string) string {
 	return filepath.Join(dataDir, "traces")
 }
+
+// NodeName returns the cluster node name this manager was configured
+// with ("" outside a cluster).
+func (m *Manager) NodeName() string { return m.cfg.NodeName }
 
 // publish stamps the event time (when unset) and routes it through the
 // hub — and so to SSE subscribers and, when persistence is on, the
@@ -691,7 +732,7 @@ func (m *Manager) journalEvent(job *Job, reason Reason) {
 // DatasetSeed, so an evicted scope rebuilds to the same folds and the
 // same cache scope key.
 func (m *Manager) acquireScope(spec JobSpec) (*evalScope, func(), error) {
-	key := spec.cacheScope()
+	key := spec.CacheScope()
 	m.mu.Lock()
 	if e, ok := m.scopes[key]; ok {
 		e.refs++
@@ -842,6 +883,10 @@ type Metrics struct {
 	CacheHits         int64   `json:"cache_hits"`
 	CacheMisses       int64   `json:"cache_misses"`
 	CacheHitRate      float64 `json:"cache_hit_rate"`
+	Node              string  `json:"node,omitempty"`
+	SegmentsShipped   int64   `json:"segments_shipped"`
+	ShipRetries       int64   `json:"ship_retries"`
+	ShipBytes         int64   `json:"ship_bytes"`
 }
 
 // Metrics snapshots the service counters.
@@ -849,6 +894,7 @@ func (m *Manager) Metrics() Metrics {
 	uptime := time.Since(m.started).Seconds()
 	out := Metrics{
 		UptimeSec:        uptime,
+		Node:             m.cfg.NodeName,
 		MaxPending:       m.cfg.MaxPending,
 		ShedRequests:     m.shed.Load(),
 		PoolSize:         m.pool.Size(),
@@ -874,6 +920,12 @@ func (m *Manager) Metrics() Metrics {
 		js := journal.DirStats(m.cfg.DataDir)
 		out.JournalSegments = js.Segments
 		out.JournalBytes = js.Bytes
+	}
+	if m.cfg.Shipper != nil {
+		ss := m.cfg.Shipper.Stats()
+		out.SegmentsShipped = ss.SegmentsShipped
+		out.ShipRetries = ss.Retries
+		out.ShipBytes = ss.Bytes
 	}
 	m.mu.Lock()
 	out.PendingDepth = m.pending

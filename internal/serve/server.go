@@ -262,7 +262,10 @@ func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
 type healthBody struct {
 	// Status is ok, overloaded (pending queue full, POST /jobs shedding
 	// with 429) or draining (shutting down, POST /jobs refused with 503).
-	Status     string  `json:"status"`
+	Status string `json:"status"`
+	// Node is the cluster node name (bhpod -node), empty standalone. The
+	// coordinator's prober reads it to confirm it is probing who it thinks.
+	Node       string  `json:"node,omitempty"`
 	UptimeSec  float64 `json:"uptime_sec"`
 	Pending    int     `json:"pending"`
 	MaxPending int     `json:"max_pending"`
@@ -278,6 +281,7 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, healthBody{
 		Status:     status,
+		Node:       s.manager.cfg.NodeName,
 		UptimeSec:  time.Since(s.manager.started).Seconds(),
 		Pending:    s.manager.PendingDepth(),
 		MaxPending: s.manager.cfg.MaxPending,

@@ -1,0 +1,100 @@
+package shipper
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Restore materializes a shipped replica as a bhpod data directory: every
+// manifest-listed (sealed) file is checksum-verified and copied, and
+// every in-progress .part file — the active journal segment and live
+// trace tails, whose torn final line journal.Replay and the trace store
+// already tolerate — is copied under its bare name. The result is a
+// directory NewManagerFromJournal can open as if the dead node had merely
+// been restarted.
+//
+// A sealed file whose bytes no longer match its manifest checksum is
+// quarantined (renamed with a .quarantine suffix inside the replica) and
+// Restore fails with an error matching ErrChecksumMismatch — a replica
+// that lies about its journal must never be promoted silently.
+func Restore(srcDir, destDir string) error {
+	manifest, err := ReadManifest(srcDir)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(destDir, 0o755); err != nil {
+		return fmt.Errorf("shipper: restore: %w", err)
+	}
+	// Sealed files first: verified whole, these are the trusted history.
+	for name, entry := range manifest {
+		src := filepath.Join(srcDir, filepath.FromSlash(name))
+		sum, size, err := hashPath(src)
+		if errors.Is(err, os.ErrNotExist) {
+			// Sealed but gone: a later fold's base supersedes old journal
+			// segments; nothing to restore under this name.
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("shipper: restore %s: %w", name, err)
+		}
+		if size != entry.Size || sum != entry.SHA256 {
+			os.Rename(src, src+quarantineSuffix)
+			return fmt.Errorf("shipper: restore %s: %w", name, ErrChecksumMismatch)
+		}
+		if err := copyFile(src, filepath.Join(destDir, filepath.FromSlash(name))); err != nil {
+			return fmt.Errorf("shipper: restore %s: %w", name, err)
+		}
+	}
+	// Then the in-progress tails. A part shadowing a sealed name is newer
+	// (the file restarted after its seal) and wins.
+	err = filepath.WalkDir(srcDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, rerr := filepath.Rel(srcDir, path)
+		if rerr != nil {
+			return rerr
+		}
+		rel = filepath.ToSlash(rel)
+		name, isPart := strings.CutSuffix(rel, partSuffix)
+		if !isPart || strings.HasSuffix(rel, quarantineSuffix) {
+			return nil
+		}
+		return copyFile(path, filepath.Join(destDir, filepath.FromSlash(name)))
+	})
+	if err != nil {
+		return fmt.Errorf("shipper: restore: %w", err)
+	}
+	return nil
+}
+
+// copyFile copies src to dest (creating parent directories), fsyncing the
+// result so a restored journal is durable before the replacement opens it.
+func copyFile(src, dest string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	if err := os.MkdirAll(filepath.Dir(dest), 0o755); err != nil {
+		return err
+	}
+	out, err := os.OpenFile(dest, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

@@ -1,0 +1,472 @@
+// Package shipper replicates a bhpod data directory — journal segments,
+// compacted bases and per-job trace files — to a sink, so a *replacement*
+// node (not just a restarted process) can rebuild a dead machine's job
+// table with journal.Replay and serve its traces byte-identically.
+//
+// The unit of shipping is one file, addressed by its path relative to the
+// data directory ("journal-000003.jsonl", "traces/job-7.trace.jsonl").
+// Files move in two phases matching how the journal and trace store write
+// them:
+//
+//   - a *changed* file (the active journal segment, a live job's trace)
+//     ships incrementally: the shipper reads the local bytes past the
+//     sink's resumable offset and appends them. A file that shrank
+//     locally (trace compaction rewrote it) restarts at offset zero.
+//   - a *sealed* file (a rotated segment, a new base, a terminal trace)
+//     ships its remaining tail and is then sealed at the sink with its
+//     size and SHA-256, which records it in the sink's checksummed
+//     manifest. Sealed content is what Restore verifies.
+//
+// Shipping is asynchronous by default (a background loop drains the dirty
+// set on an interval, retrying failures with capped backoff); with
+// Options.Sync each hook ships inline before returning, so an
+// acknowledged job submission is already at the sink when the HTTP 202
+// goes out — the synchronous-replication mode the failover harness runs,
+// where a kill -9 must lose zero accepted jobs.
+package shipper
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Named failure modes surfaced by sinks and Restore.
+var (
+	// ErrChecksumMismatch marks shipped content that does not hash to its
+	// manifest (or seal-time) checksum. The offending file is quarantined
+	// (renamed with a .quarantine suffix), never silently used.
+	ErrChecksumMismatch = errors.New("shipper: checksum mismatch")
+	// ErrOffsetMismatch marks an append at the wrong resume offset — the
+	// shipper re-queries the sink offset and reships.
+	ErrOffsetMismatch = errors.New("shipper: offset mismatch")
+)
+
+// Sink is one destination for shipped files. Implementations: DirSink
+// (local directory, also the storage behind the peer-push Receiver) and
+// HTTPSink (push to a peer node's /ship/ receiver).
+type Sink interface {
+	// Offset reports how many bytes of name the sink already holds — the
+	// resume point after a shipper or sink crash.
+	Offset(name string) (int64, error)
+	// Append writes data at offset off. off zero (re)starts the file from
+	// scratch; any other off must equal the sink's current offset, else
+	// ErrOffsetMismatch.
+	Append(name string, off int64, data []byte) error
+	// Seal finalizes name at the given size and SHA-256 hex digest,
+	// verifying the held bytes and recording the file in the manifest. A
+	// digest mismatch quarantines the held bytes and returns
+	// ErrChecksumMismatch; an incomplete file returns ErrOffsetMismatch.
+	Seal(name string, size int64, sum string) error
+}
+
+// Options tunes a Shipper.
+type Options struct {
+	// Interval paces the background ship loop. 0 selects 250ms.
+	Interval time.Duration
+	// MaxBackoff caps the retry backoff after consecutive ship failures.
+	// 0 selects 5s.
+	MaxBackoff time.Duration
+	// Sync ships inline from each Changed/Sealed hook before it returns
+	// (synchronous replication); failures fall back to the background
+	// retry loop, so durability degrades to async rather than failing the
+	// write path.
+	Sync bool
+	// OnError receives background ship errors (best-effort; the dirty
+	// file stays queued and is retried).
+	OnError func(error)
+}
+
+// Stats is the shipper's counter snapshot, feeding the node's /metrics.
+type Stats struct {
+	// SegmentsShipped counts successfully sealed files (journal segments,
+	// bases and terminal traces).
+	SegmentsShipped int64
+	// Retries counts ship attempts that failed and were requeued.
+	Retries int64
+	// Bytes counts payload bytes appended to the sink.
+	Bytes int64
+}
+
+// fileState tracks one file's shipping progress.
+type fileState struct {
+	mu     sync.Mutex
+	offset int64 // bytes known to be at the sink; -1 = unknown, query
+	sealed bool  // a seal is owed once the bytes are shipped
+	done   bool  // sealed at the sink; nothing more to do unless it changes
+}
+
+// Shipper watches a data directory and pushes its files to a sink.
+type Shipper struct {
+	root string
+	sink Sink
+	opts Options
+
+	segmentsShipped atomic.Int64
+	retries         atomic.Int64
+	bytes           atomic.Int64
+
+	mu     sync.Mutex
+	files  map[string]*fileState
+	dirty  map[string]struct{}
+	closed bool
+
+	kick chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New returns a shipper replicating root into sink and starts its
+// background loop. Close it to flush and stop.
+func New(root string, sink Sink, opts Options) *Shipper {
+	if opts.Interval <= 0 {
+		opts.Interval = 250 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 5 * time.Second
+	}
+	s := &Shipper{
+		root:  root,
+		sink:  sink,
+		opts:  opts,
+		files: map[string]*fileState{},
+		dirty: map[string]struct{}{},
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+// Stats snapshots the ship counters.
+func (s *Shipper) Stats() Stats {
+	return Stats{
+		SegmentsShipped: s.segmentsShipped.Load(),
+		Retries:         s.retries.Load(),
+		Bytes:           s.bytes.Load(),
+	}
+}
+
+// state returns (creating if needed) the file's tracking state.
+func (s *Shipper) state(rel string) *fileState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.files[rel]
+	if !ok {
+		st = &fileState{offset: -1}
+		s.files[rel] = st
+	}
+	return st
+}
+
+// markDirty queues the file for the background loop.
+func (s *Shipper) markDirty(rel string) {
+	s.mu.Lock()
+	if !s.closed {
+		s.dirty[rel] = struct{}{}
+	}
+	s.mu.Unlock()
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Changed notes that rel (relative to the data dir, slash-separated) grew
+// or was rewritten. With Options.Sync the delta ships before Changed
+// returns; otherwise the background loop picks it up.
+func (s *Shipper) Changed(rel string) {
+	st := s.state(rel)
+	st.mu.Lock()
+	st.done = false
+	st.mu.Unlock()
+	if s.opts.Sync {
+		if err := s.shipFile(rel); err == nil {
+			return
+		}
+	}
+	s.markDirty(rel)
+}
+
+// Sealed notes that rel reached its final content (a rotated journal
+// segment, a freshly folded base, a terminal trace): the remaining tail
+// ships and the file is sealed into the sink's checksummed manifest.
+func (s *Shipper) Sealed(rel string) {
+	st := s.state(rel)
+	st.mu.Lock()
+	st.sealed = true
+	st.done = false
+	st.mu.Unlock()
+	if s.opts.Sync {
+		if err := s.shipFile(rel); err == nil {
+			return
+		}
+	}
+	s.markDirty(rel)
+}
+
+// SnapshotRoot marks every journal and trace file currently in the data
+// directory for shipping — the startup sync after a restart (or the first
+// run against an already-populated directory). Journal files other than
+// the active segment, and bases, are final and marked sealed; the active
+// segment and the trace files ship incrementally.
+func (s *Shipper) SnapshotRoot(activeSegment string) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		isSeg := strings.HasPrefix(name, "journal-") && strings.HasSuffix(name, ".jsonl")
+		isBase := strings.HasPrefix(name, "base-") && strings.HasSuffix(name, ".jsonl")
+		if !isSeg && !isBase {
+			continue
+		}
+		if name == activeSegment {
+			s.Changed(name)
+		} else {
+			s.Sealed(name)
+		}
+	}
+	traces, err := os.ReadDir(filepath.Join(s.root, "traces"))
+	if err != nil {
+		return
+	}
+	for _, e := range traces {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".trace.jsonl") {
+			s.Changed("traces/" + e.Name())
+		}
+	}
+}
+
+// shipFile pushes one file's outstanding bytes (and owed seal) to the
+// sink. Per-file serialization via the file state lock; safe to call
+// concurrently with hooks for the same file.
+func (s *Shipper) shipFile(rel string) error {
+	st := s.state(rel)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.done {
+		return nil
+	}
+	path := filepath.Join(s.root, filepath.FromSlash(rel))
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		// Folded away (the journal deletes segments once a newer base
+		// carries their data) — nothing left to ship; the base ships in
+		// its own right.
+		st.done = true
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("shipper: %s: %w", rel, err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("shipper: %s: %w", rel, err)
+	}
+	size := info.Size()
+	if st.offset < 0 {
+		off, err := s.sink.Offset(rel)
+		if err != nil {
+			return fmt.Errorf("shipper: %s: offset: %w", rel, err)
+		}
+		st.offset = off
+	}
+	if size < st.offset {
+		// The file was rewritten smaller (trace compaction): restart it.
+		st.offset = 0
+	}
+	if size == 0 && st.sealed && st.offset == 0 {
+		// An empty sealed file (a base folded from zero jobs) never gets
+		// an append, but it still has to exist at the sink to seal.
+		if err := s.sink.Append(rel, 0, nil); err != nil {
+			return fmt.Errorf("shipper: %s: %w", rel, err)
+		}
+	}
+	if size > st.offset {
+		if err := s.shipRange(f, rel, st, size); err != nil {
+			if !errors.Is(err, ErrOffsetMismatch) {
+				return err
+			}
+			// The sink's idea of the offset moved (sink restarted, another
+			// writer generation): re-query once and reship.
+			off, oerr := s.sink.Offset(rel)
+			if oerr != nil {
+				return fmt.Errorf("shipper: %s: offset: %w", rel, oerr)
+			}
+			st.offset = off
+			if off > size {
+				st.offset = 0
+			}
+			if err := s.shipRange(f, rel, st, size); err != nil {
+				return err
+			}
+		}
+	}
+	if st.sealed {
+		sum, n, err := hashFile(f)
+		if err != nil {
+			return fmt.Errorf("shipper: %s: %w", rel, err)
+		}
+		if n != size {
+			// Grew between stat and hash (should not happen for sealed
+			// files); ship the rest next round.
+			return fmt.Errorf("shipper: %s: grew while sealing", rel)
+		}
+		if err := s.sink.Seal(rel, size, sum); err != nil {
+			// Whatever the sink holds is not what we think it holds (short
+			// part, quarantined content): forget the cached offset so the
+			// retry re-queries and reships from the sink's truth.
+			st.offset = -1
+			return fmt.Errorf("shipper: sealing %s: %w", rel, err)
+		}
+		s.segmentsShipped.Add(1)
+		st.done = true
+	}
+	return nil
+}
+
+// shipRange appends f's bytes in [st.offset, size) to the sink. An
+// offset-zero append truncates at the sink, so a restarted file ships its
+// whole current content in one shot.
+func (s *Shipper) shipRange(f *os.File, rel string, st *fileState, size int64) error {
+	off := st.offset
+	data := make([]byte, size-off)
+	if _, err := f.ReadAt(data, off); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("shipper: reading %s: %w", rel, err)
+	}
+	if err := s.sink.Append(rel, off, data); err != nil {
+		return err
+	}
+	st.offset = size
+	s.bytes.Add(int64(len(data)))
+	return nil
+}
+
+// hashFile returns the SHA-256 hex digest and length of f's full content.
+func hashFile(f *os.File) (string, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return "", 0, err
+	}
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return "", 0, err
+	}
+	return hex.EncodeToString(h.Sum(nil)), n, nil
+}
+
+// loop drains the dirty set on the interval, with capped backoff while
+// the sink is failing.
+func (s *Shipper) loop() {
+	defer s.wg.Done()
+	backoff := s.opts.Interval
+	timer := time.NewTimer(s.opts.Interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.kick:
+		case <-timer.C:
+		}
+		if s.drainDirty() {
+			backoff = s.opts.Interval
+		} else {
+			s.retries.Add(1)
+			backoff *= 2
+			if backoff > s.opts.MaxBackoff {
+				backoff = s.opts.MaxBackoff
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(backoff)
+	}
+}
+
+// drainDirty ships every queued file once, reporting whether the pass was
+// clean. Failed files stay queued.
+func (s *Shipper) drainDirty() bool {
+	s.mu.Lock()
+	rels := make([]string, 0, len(s.dirty))
+	for rel := range s.dirty {
+		rels = append(rels, rel)
+	}
+	s.mu.Unlock()
+	sort.Strings(rels) // deterministic order: segments before traces
+	clean := true
+	for _, rel := range rels {
+		if err := s.shipFile(rel); err != nil {
+			clean = false
+			if s.opts.OnError != nil {
+				s.opts.OnError(err)
+			}
+			continue
+		}
+		s.mu.Lock()
+		delete(s.dirty, rel)
+		s.mu.Unlock()
+	}
+	return clean
+}
+
+// Flush ships everything queued right now, returning the first error.
+// Used by tests and Close; the background loop keeps retrying failures.
+func (s *Shipper) Flush() error {
+	s.mu.Lock()
+	rels := make([]string, 0, len(s.dirty))
+	for rel := range s.dirty {
+		rels = append(rels, rel)
+	}
+	s.mu.Unlock()
+	sort.Strings(rels)
+	var first error
+	for _, rel := range rels {
+		if err := s.shipFile(rel); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		s.mu.Lock()
+		delete(s.dirty, rel)
+		s.mu.Unlock()
+	}
+	return first
+}
+
+// Close stops the background loop after a final best-effort flush.
+// Idempotent.
+func (s *Shipper) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.Flush()
+	close(s.stop)
+	s.wg.Wait()
+	return err
+}

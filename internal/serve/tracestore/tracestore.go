@@ -44,6 +44,12 @@ type Options struct {
 	// is compacted once it grows this much past its previous compacted
 	// size. 0 selects 1 MiB; negative disables compaction.
 	MaxBytes int64
+	// OnChange, when non-nil, is called after an append or compaction
+	// with the trace file's name (relative to the store directory) and
+	// whether the file is now final (the terminal event was fsynced and
+	// the file closed) — the shipper's replication hook. Called with the
+	// job's file lock held; it must not call back into the store.
+	OnChange func(name string, final bool)
 }
 
 // Store writes per-job trace files in one directory. Safe for concurrent
@@ -51,6 +57,7 @@ type Options struct {
 type Store struct {
 	dir      string
 	maxBytes int64
+	onChange func(name string, final bool)
 	bytes    atomic.Int64 // on-disk bytes across all trace files
 
 	mu   sync.Mutex
@@ -97,7 +104,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tracestore: %w", err)
 	}
-	s := &Store{dir: dir, maxBytes: maxBytes, jobs: map[string]*jobFile{}}
+	s := &Store{dir: dir, maxBytes: maxBytes, onChange: opts.OnChange, jobs: map[string]*jobFile{}}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("tracestore: %w", err)
@@ -185,12 +192,18 @@ func (s *Store) Append(ev events.Event) error {
 		if err != nil {
 			return fmt.Errorf("tracestore: %w", err)
 		}
+		if s.onChange != nil {
+			s.onChange(name, true)
+		}
 		return nil
 	}
 	if s.maxBytes > 0 && jf.size >= jf.floor+s.maxBytes {
 		if err := s.compactLocked(jf, path); err != nil {
 			return err
 		}
+	}
+	if s.onChange != nil {
+		s.onChange(name, false)
 	}
 	return nil
 }
