@@ -3,10 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check crash chaos sse failover bench bench-smoke bench-multicore fmt serve clean
+.PHONY: all build test race vet check crash chaos sse failover fallback bench bench-smoke bench-multicore fmt serve clean
 
-# The kernel/Fit benchmark family captured in BENCH_kernels.json.
-BENCH_PATTERN = BenchmarkMat|BenchmarkFit
+# The kernel/Fit/fused-eval benchmark family captured in
+# BENCH_kernels.json.
+BENCH_PATTERN = BenchmarkMat|BenchmarkFit|BenchmarkFused
 
 all: build
 
@@ -77,7 +78,13 @@ bench-multicore:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . >/dev/null
 
-check: vet race crash chaos sse failover bench-smoke
+# Forced-fallback run: the portable blocked kernels stay tested end to
+# end on SIMD hardware (BHPO_KERNEL overrides the auto-selected family),
+# so a regression in the non-SIMD path cannot hide behind AVX2 CI boxes.
+fallback:
+	BHPO_KERNEL=blocked $(GO) test -count=1 ./internal/mat/ ./internal/nn/ ./internal/hpo/
+
+check: vet race crash chaos sse failover fallback bench-smoke
 
 fmt:
 	gofmt -l -w .

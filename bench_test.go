@@ -13,6 +13,7 @@ package enhancedbhpo_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"enhancedbhpo/internal/cluster"
@@ -368,10 +369,22 @@ func BenchmarkSHA(b *testing.B) {
 
 // --- Compute-kernel benchmarks (the BENCH_kernels.json baseline) ---
 //
-// Each kernel benchmark runs the retained naive reference and the tuned
-// blocked kernel on identical dense data at MLP-typical shapes, so the
-// recorded ns/op ratio is the kernel speedup itself. `make bench`
+// Each kernel benchmark runs the retained naive reference and every
+// dispatchable kernel family — blocked always, simd where the CPU
+// supports it — on identical dense data at MLP-typical shapes, so the
+// recorded ns/op ratios are the kernel speedups themselves. `make bench`
 // captures these (with -benchmem) into BENCH_kernels.json.
+
+// dispatchKernels lists the kernel families Mul/MulT/TMul can dispatch to
+// on this machine, each forced explicitly so the sub-benchmark names say
+// what actually ran regardless of the default selection.
+func dispatchKernels() []mat.KernelKind {
+	ks := []mat.KernelKind{mat.Blocked}
+	if mat.SIMDAvailable() {
+		ks = append(ks, mat.SIMD)
+	}
+	return ks
+}
 
 // benchMat returns a rows×cols matrix of nonzero values: dense data is
 // the honest baseline because the naive kernels skip zero multiplicands.
@@ -393,10 +406,13 @@ var matShapes = []struct {
 	{"batch32_w50", 32, 50, 50},
 	{"batch128_w100", 128, 100, 100},
 	{"batch256_w200", 256, 200, 200},
+	// Wide enough (n, k ≥ the tile thresholds) to engage the cache-blocked
+	// panel path on top of the register kernels.
+	{"batch64_w512", 64, 512, 512},
 }
 
-// BenchmarkMatMul compares naive vs blocked dst = a*b (the forward-pass
-// product).
+// BenchmarkMatMul compares naive vs blocked vs simd dst = a*b (the
+// forward-pass product).
 func BenchmarkMatMul(b *testing.B) {
 	for _, sh := range matShapes {
 		r := rng.New(21)
@@ -408,16 +424,19 @@ func BenchmarkMatMul(b *testing.B) {
 				mat.NaiveMul(dst, a, bb)
 			}
 		})
-		b.Run(sh.name+"/blocked", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				mat.Mul(dst, a, bb)
-			}
-		})
+		for _, k := range dispatchKernels() {
+			b.Run(sh.name+"/"+k.String(), func(b *testing.B) {
+				defer mat.SetKernel(mat.SetKernel(k))
+				for i := 0; i < b.N; i++ {
+					mat.Mul(dst, a, bb)
+				}
+			})
+		}
 	}
 }
 
-// BenchmarkMatMulT compares naive vs blocked dst = a*bᵀ (the backprop
-// delta propagation).
+// BenchmarkMatMulT compares naive vs blocked vs simd dst = a*bᵀ (the
+// backprop delta propagation).
 func BenchmarkMatMulT(b *testing.B) {
 	for _, sh := range matShapes {
 		r := rng.New(22)
@@ -429,16 +448,19 @@ func BenchmarkMatMulT(b *testing.B) {
 				mat.NaiveMulT(dst, a, bt)
 			}
 		})
-		b.Run(sh.name+"/blocked", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				mat.MulT(dst, a, bt)
-			}
-		})
+		for _, k := range dispatchKernels() {
+			b.Run(sh.name+"/"+k.String(), func(b *testing.B) {
+				defer mat.SetKernel(mat.SetKernel(k))
+				for i := 0; i < b.N; i++ {
+					mat.MulT(dst, a, bt)
+				}
+			})
+		}
 	}
 }
 
-// BenchmarkMatTMul compares naive vs blocked dst = aᵀ*b (the weight
-// gradient).
+// BenchmarkMatTMul compares naive vs blocked vs simd dst = aᵀ*b (the
+// weight gradient).
 func BenchmarkMatTMul(b *testing.B) {
 	for _, sh := range matShapes {
 		r := rng.New(23)
@@ -450,11 +472,14 @@ func BenchmarkMatTMul(b *testing.B) {
 				mat.NaiveTMul(dst, at, bb)
 			}
 		})
-		b.Run(sh.name+"/blocked", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				mat.TMul(dst, at, bb)
-			}
-		})
+		for _, k := range dispatchKernels() {
+			b.Run(sh.name+"/"+k.String(), func(b *testing.B) {
+				defer mat.SetKernel(mat.SetKernel(k))
+				for i := 0; i < b.N; i++ {
+					mat.TMul(dst, at, bb)
+				}
+			})
+		}
 	}
 }
 
@@ -488,14 +513,16 @@ func benchFit(b *testing.B, train *dataset.Dataset, cfg nn.Config, kernel mat.Ke
 	}
 }
 
-// BenchmarkFitStochastic measures a full adam fit with the naive kernels
-// vs the tuned blocked kernels — the end-to-end per-trial speedup every
-// bandit optimizer inherits.
+// BenchmarkFitStochastic measures a full adam fit under each kernel
+// family — the end-to-end per-trial speedup every bandit optimizer
+// inherits.
 func BenchmarkFitStochastic(b *testing.B) {
 	train := benchData(b, 0.5)
 	cfg := fitBenchConfig(nn.Adam)
 	b.Run("naive", func(b *testing.B) { benchFit(b, train, cfg, mat.NaiveKernel) })
-	b.Run("tuned", func(b *testing.B) { benchFit(b, train, cfg, mat.Blocked) })
+	for _, k := range dispatchKernels() {
+		b.Run(k.String(), func(b *testing.B) { benchFit(b, train, cfg, k) })
+	}
 }
 
 // BenchmarkFitLBFGS is the full-batch counterpart of
@@ -504,7 +531,59 @@ func BenchmarkFitLBFGS(b *testing.B) {
 	train := benchData(b, 0.5)
 	cfg := fitBenchConfig(nn.LBFGS)
 	b.Run("naive", func(b *testing.B) { benchFit(b, train, cfg, mat.NaiveKernel) })
-	b.Run("tuned", func(b *testing.B) { benchFit(b, train, cfg, mat.Blocked) })
+	for _, k := range dispatchKernels() {
+		b.Run(k.String(), func(b *testing.B) { benchFit(b, train, cfg, k) })
+	}
+}
+
+// BenchmarkFusedEval measures aggregate evaluation throughput for a
+// pool-8-sized group of concurrent trials. The /solo variant evaluates
+// the eight requests one after another — what eight pool slots achieve
+// without fusion when evaluations serialize on the CPU — while /fused
+// stacks them through EvaluateBatch, the path the serve-layer fuser
+// takes. ns/op is per *group of eight*, so the solo/fused ratio is the
+// aggregate eval-throughput speedup fusion buys. L-BFGS samples are
+// excluded: they take the documented solo fallback and would measure the
+// fallback, not fusion.
+func BenchmarkFusedEval(b *testing.B) {
+	train := benchData(b, 0.5)
+	base := nn.DefaultConfig()
+	base.MaxIter = 8
+	comps := hpo.VanillaComponents(3)
+	ev := hpo.NewCVEvaluator(train, base, comps)
+	space, err := search.TableIIISpace(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const group = 8
+	budget := ev.FullBudget()
+	var reqs []hpo.EvalRequest
+	for i := 0; len(reqs) < group; i++ {
+		cfg := space.SampleN(rng.New(uint64(400+i)), 1)[0]
+		if nnCfg, cerr := search.ToNNConfig(cfg, base); cerr != nil || nnCfg.Solver == nn.LBFGS {
+			continue
+		}
+		reqs = append(reqs, hpo.EvalRequest{Cfg: cfg, Budget: budget, R: rng.New(uint64(500 + i))})
+	}
+	b.Run("solo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, req := range reqs {
+				if _, err := ev.Evaluate(req.Cfg, req.Budget, req.R); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			results, _ := ev.EvaluateBatch(reqs, runtime.GOMAXPROCS(0))
+			for _, res := range results {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkBetaEval measures the Eq. 2 weight function itself.

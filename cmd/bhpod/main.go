@@ -43,7 +43,7 @@
 //	      [-eval-attempts 2] [-retry-backoff 50ms] [-failure-budget 3]
 //	      [-eval-timeout 0] [-journal-max-bytes 4194304] [-scope-ttl 0]
 //	      [-event-buffer 256] [-trace-max-bytes 1048576]
-//	      [-kernel-workers 0] [-pprof]
+//	      [-kernel-workers 0] [-fuse-evals] [-pprof]
 //	      [-node NAME] [-ship-to DIR|URL] [-ship-interval 250ms]
 //	      [-ship-sync] [-ship-recv-dir DIR] [-restore-from DIR]
 //
@@ -89,6 +89,7 @@ import (
 	"syscall"
 	"time"
 
+	"enhancedbhpo/internal/mat"
 	"enhancedbhpo/internal/serve"
 	"enhancedbhpo/internal/serve/shipper"
 )
@@ -111,6 +112,7 @@ func main() {
 		eventBuf = flag.Int("event-buffer", 256, "buffered events per SSE subscriber; a slower consumer has events dropped from its stream (resumable via Last-Event-ID)")
 		traceMax = flag.Int64("trace-max-bytes", 1<<20, "compact a job's durable trace file once it grows this much past its last compaction (negative = never; needs -data-dir)")
 		kernelW  = flag.Int("kernel-workers", 0, "matmul goroutines per pooled evaluation (0 = NumCPU/workers, so the pool never oversubscribes)")
+		fuseOn   = flag.Bool("fuse-evals", true, "batch concurrent same-budget evaluations through the fused lockstep trainer (results are bitwise-identical either way)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
 
 		nodeName = flag.String("node", "", "cluster node name (ring identity under a bhpoctl coordinator; required with -ship-to)")
@@ -122,21 +124,22 @@ func main() {
 	)
 	flag.Parse()
 	cfg := serve.Config{
-		PoolSize:        *workers,
-		MaxJobs:         *maxJobs,
-		MaxPending:      *maxPend,
-		EvalTimeout:     *evalTmo,
-		CacheEntries:    *cacheN,
-		DataDir:         *dataDir,
-		JournalMaxBytes: *jrnlMax,
-		ScopeTTL:        *scopeTTL,
-		EvalAttempts:    *attempts,
-		RetryBackoff:    *backoff,
-		FailureBudget:   *failures,
-		EventBuffer:     *eventBuf,
-		TraceMaxBytes:   *traceMax,
-		KernelWorkers:   *kernelW,
-		NodeName:        *nodeName,
+		PoolSize:          *workers,
+		MaxJobs:           *maxJobs,
+		MaxPending:        *maxPend,
+		EvalTimeout:       *evalTmo,
+		CacheEntries:      *cacheN,
+		DataDir:           *dataDir,
+		JournalMaxBytes:   *jrnlMax,
+		ScopeTTL:          *scopeTTL,
+		EvalAttempts:      *attempts,
+		RetryBackoff:      *backoff,
+		FailureBudget:     *failures,
+		EventBuffer:       *eventBuf,
+		TraceMaxBytes:     *traceMax,
+		KernelWorkers:     *kernelW,
+		DisableEvalFusion: !*fuseOn,
+		NodeName:          *nodeName,
 	}
 	cluster := clusterFlags{
 		ShipTo:       *shipTo,
@@ -264,7 +267,12 @@ func run(addr string, cfg serve.Config, cluster clusterFlags, drainTimeout time.
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("bhpod listening on %s (pool=%d, max-jobs=%d)", addr, cfg.PoolSize, cfg.MaxJobs)
+		kernel := mat.ActiveKernel().String()
+		if feats := mat.CPUFeatures(); feats != "" {
+			kernel += " [" + feats + "]"
+		}
+		log.Printf("bhpod listening on %s (pool=%d, max-jobs=%d, kernel=%s, fuse-evals=%v)",
+			addr, cfg.PoolSize, cfg.MaxJobs, kernel, !cfg.DisableEvalFusion)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -62,6 +62,7 @@ type ashaMember struct {
 	state    int // 0 pending, 1 running, 2 done
 	score    float64
 	promoted bool
+	trial    Trial // completed evaluation, buffered until emitted in serial order
 }
 
 const (
@@ -81,6 +82,19 @@ type ashaState struct {
 	err         error
 	eta         int
 	maxRung     int
+
+	// Serial-order emission: completed trials are buffered on their rung
+	// member and released — appended to trials and reported to observe —
+	// in the exact order a single-worker run would produce them, by
+	// replaying the serial scheduler (highest rung first, members in
+	// index order) over the completed set. emitted[r] is the emission
+	// cursor of rung r; created[r] is how many of rung r's members exist
+	// in the replay (promotions from the emitted prefix of rung r-1);
+	// shadowProm mirrors settle's promoted flags for the replay.
+	observe    func(Trial)
+	emitted    []int
+	created    []int
+	shadowProm [][]bool
 }
 
 // ASHA runs asynchronous successive halving: worker goroutines
@@ -94,7 +108,11 @@ type ashaState struct {
 // once every earlier member of rung r has finished), and per-trial RNG
 // streams are derived from (configuration index, rung). The set of
 // evaluations and the returned best configuration are therefore identical
-// for any worker count; only the completion order of Result.Trials varies.
+// for any worker count. Completed trials are additionally buffered and
+// released in the order a single-worker run would produce them (see
+// emitReady), so Result.Trials — and the Observe stream, hence any
+// anytime curve built from it — are also identical for any worker count;
+// only per-trial wall times vary.
 func ASHA(space *search.Space, ev Evaluator, comps Components, opts ASHAOptions) (*Result, error) {
 	return ASHACtx(context.Background(), space, ev, comps, opts)
 }
@@ -119,15 +137,24 @@ func ASHACtx(ctx context.Context, space *search.Space, ev Evaluator, comps Compo
 		return nil, fmt.Errorf("hpo: ASHA sampled no configurations")
 	}
 	st := &ashaState{
-		rungs:   make([][]ashaMember, maxRung+1),
-		settled: make([]int, maxRung+1),
-		eta:     opts.Eta,
-		maxRung: maxRung,
+		rungs:      make([][]ashaMember, maxRung+1),
+		settled:    make([]int, maxRung+1),
+		eta:        opts.Eta,
+		maxRung:    maxRung,
+		emitted:    make([]int, maxRung+1),
+		created:    make([]int, maxRung+1),
+		shadowProm: make([][]bool, maxRung+1),
 	}
 	st.cond = sync.NewCond(&st.mu)
 	for i, cfg := range configs {
 		st.rungs[0] = append(st.rungs[0], ashaMember{cfg: cfg, cfgIdx: i})
 	}
+	st.created[0] = len(st.rungs[0])
+	// Trials are observed in serial emission order, not completion order:
+	// evalTrial's inline callback is suppressed and complete() reports
+	// through the replay instead.
+	st.observe = comps.Observe
+	comps.Observe = nil
 
 	start := time.Now()
 	budgetOf := func(rung int) int {
@@ -247,14 +274,83 @@ func (st *ashaState) complete(job ashaJob, tr Trial, err error) {
 		if st.err == nil {
 			st.err = err
 		}
-	} else {
-		st.trials = append(st.trials, tr)
+	} else if st.err == nil {
+		// Once the run has erred (evaluation failure or cancellation) the
+		// result is discarded, so in-flight successes neither settle
+		// promotions nor release the emission backlog — a cancelled job's
+		// reported trial count freezes instead of flushing buffered
+		// trials after the cancel.
 		mem := &st.rungs[job.rung][job.member]
 		mem.state = memberDone
 		mem.score = tr.Score
+		mem.trial = tr
 		st.settle(job.rung)
+		st.emitReady()
 	}
 	st.cond.Broadcast()
+}
+
+// emitReady releases buffered completed trials in the canonical serial
+// order: repeatedly, the replayed single-worker scheduler's next pick —
+// the lowest unemitted member of the highest rung that exists in the
+// replay — is emitted if its evaluation has finished, and emission stalls
+// on it otherwise. Every replay-created member is also created (and hence
+// evaluated) by the real run, so the replay always drains by the time the
+// run ends. Trials therefore arrive at observe, and land in st.trials, in
+// an order independent of the worker count. Caller holds st.mu; observe
+// runs under it, keeping concurrent completions in emission order.
+func (st *ashaState) emitReady() {
+	for {
+		r := -1
+		for q := st.maxRung; q >= 0; q-- {
+			if st.emitted[q] < st.created[q] {
+				r = q
+				break
+			}
+		}
+		if r < 0 {
+			return
+		}
+		mem := &st.rungs[r][st.emitted[r]]
+		if mem.state != memberDone {
+			return
+		}
+		st.emitted[r]++
+		st.trials = append(st.trials, mem.trial)
+		if st.observe != nil {
+			st.observe(mem.trial)
+		}
+		st.shadowSettle(r)
+	}
+}
+
+// shadowSettle advances the replay's promotion state after rung r's
+// emitted prefix grew by one: the same decision settle takes at this
+// prefix length, recorded with the replay's own flags, so created[r+1]
+// counts exactly the members a serial run would have promoted by now.
+// Caller holds st.mu.
+func (st *ashaState) shadowSettle(r int) {
+	if r >= st.maxRung {
+		return
+	}
+	members := st.rungs[r]
+	j := st.emitted[r]
+	k := j / st.eta
+	if k < 1 {
+		return
+	}
+	if len(st.shadowProm[r]) < j {
+		grown := make([]bool, j)
+		copy(grown, st.shadowProm[r])
+		st.shadowProm[r] = grown
+	}
+	for _, m := range topMembers(members[:j], k) {
+		if st.shadowProm[r][m] {
+			continue
+		}
+		st.shadowProm[r][m] = true
+		st.created[r+1]++
+	}
 }
 
 // settle replays rung r's promotion decisions over its newly completed

@@ -1,0 +1,166 @@
+package hpo
+
+import (
+	"fmt"
+
+	"enhancedbhpo/internal/cv"
+	"enhancedbhpo/internal/dataset"
+	"enhancedbhpo/internal/nn"
+	"enhancedbhpo/internal/rng"
+	"enhancedbhpo/internal/search"
+)
+
+// Fused cross-validation: EvaluateBatch runs several concurrent trial
+// evaluations in fold lockstep, so the per-fold model fits go through
+// nn.FitBatch's grouped matmul dispatch instead of training one model at
+// a time. Each request's fold construction, RNG seeding, skip logic and
+// scoring are byte-for-byte the solo Evaluate code path, and FitBatch's
+// models are bitwise-identical to solo nn.Fit — so every request's
+// scores (and errors) are exactly what a solo Evaluate would return.
+
+// EvalRequest is one trial's evaluation input for EvaluateBatch,
+// mirroring the Evaluate(cfg, budget, r) argument triple.
+type EvalRequest struct {
+	Cfg    search.Config
+	Budget int
+	R      *rng.RNG
+}
+
+// EvalResult is one trial's evaluation output.
+type EvalResult struct {
+	Scores []float64
+	Err    error
+}
+
+// BatchEvalStats reports how much of the batch actually fused.
+type BatchEvalStats struct {
+	// FusedTrials counts requests that trained at least one fold inside
+	// a multi-trial lockstep group.
+	FusedTrials int
+	// FusedSteps / StackedRows aggregate nn.BatchStats over all fold
+	// groups: lockstep minibatch steps with ≥2 trials, and the minibatch
+	// rows stacked across trials in those steps.
+	FusedSteps  int64
+	StackedRows int64
+	// SoloFallbacks counts requests routed through the solo Evaluate
+	// path instead (L-BFGS trials, config/fold errors).
+	SoloFallbacks int
+}
+
+// batchEvalState tracks one request through the fold-lockstep loop.
+type batchEvalState struct {
+	req    EvalRequest
+	folds  []cv.Fold
+	nnCfg  nn.Config
+	scores []float64
+	err    error
+	solo   bool
+	fused  bool
+}
+
+// EvaluateBatch evaluates the requests together, fusing the fold fits of
+// all lockstep-compatible requests through nn.FitBatch with the given
+// matmul worker cap (0 = GOMAXPROCS). Results are positionally matched
+// to reqs and each is bitwise-identical — scores and error — to a solo
+// e.Evaluate(req.Cfg, req.Budget, req.R) call: fusion changes wall-clock
+// scheduling, never a number. Requests that cannot fuse (L-BFGS, fold or
+// config errors) transparently take the solo path.
+func (e *CVEvaluator) EvaluateBatch(reqs []EvalRequest, workers int) ([]EvalResult, BatchEvalStats) {
+	var stats BatchEvalStats
+	results := make([]EvalResult, len(reqs))
+	if len(reqs) == 0 {
+		return results, stats
+	}
+	states := make([]*batchEvalState, len(reqs))
+	maxFolds := 0
+	for i, req := range reqs {
+		st := &batchEvalState{req: req}
+		states[i] = st
+		folds, err := e.Folds.Folds(e.Train, e.Groups, req.Budget, e.K, req.R.Split(0xf01d))
+		if err != nil {
+			st.err = fmt.Errorf("hpo: building folds: %w", err)
+			continue
+		}
+		nnCfg, err := search.ToNNConfig(req.Cfg, e.Base)
+		if err != nil {
+			st.err = fmt.Errorf("hpo: materializing config: %w", err)
+			continue
+		}
+		if nnCfg.Solver == nn.LBFGS {
+			// L-BFGS has no lockstep decomposition; run it solo. The RNG
+			// splits below re-derive the same streams (Split never
+			// advances its parent), so this is exactly the solo result.
+			st.solo = true
+			continue
+		}
+		st.folds = folds
+		st.nnCfg = nnCfg
+		st.scores = make([]float64, 0, len(folds))
+		if len(folds) > maxFolds {
+			maxFolds = len(folds)
+		}
+	}
+
+	// Fold lockstep over the fusable requests.
+	items := make([]nn.BatchItem, 0, len(reqs))
+	members := make([]*batchEvalState, 0, len(reqs))
+	vals := make([]*dataset.Dataset, 0, len(reqs))
+	for fi := 0; fi < maxFolds; fi++ {
+		items, members, vals = items[:0], members[:0], vals[:0]
+		for _, st := range states {
+			if st.err != nil || st.solo || fi >= len(st.folds) {
+				continue
+			}
+			fold := st.folds[fi]
+			if len(fold.Train) < 2 || len(fold.Val) == 0 {
+				continue
+			}
+			foldCfg := st.nnCfg
+			foldCfg.Seed = st.req.R.Split(uint64(fi) + 1).Uint64()
+			items = append(items, nn.BatchItem{Train: e.Train.Select(fold.Train), Cfg: foldCfg})
+			members = append(members, st)
+			vals = append(vals, e.Train.Select(fold.Val))
+		}
+		if len(items) == 0 {
+			continue
+		}
+		models, bstats, err := nn.FitBatch(items, workers)
+		if err != nil {
+			// A rejected item aborts the whole lockstep group; rather
+			// than untangle partial state, route every group member
+			// through the solo path, which reproduces the exact solo
+			// error (or result) for each.
+			for _, st := range members {
+				st.solo = true
+			}
+			continue
+		}
+		stats.FusedSteps += bstats.Steps
+		stats.StackedRows += bstats.StackedRows
+		for mi, st := range members {
+			st.scores = append(st.scores, e.scoreModel(models[mi], vals[mi]))
+			if len(members) > 1 {
+				st.fused = true
+			}
+		}
+	}
+
+	for i, st := range states {
+		switch {
+		case st.solo:
+			stats.SoloFallbacks++
+			scores, err := e.Evaluate(st.req.Cfg, st.req.Budget, st.req.R)
+			results[i] = EvalResult{Scores: scores, Err: err}
+		case st.err != nil:
+			results[i] = EvalResult{Err: st.err}
+		case len(st.scores) == 0:
+			results[i] = EvalResult{Err: fmt.Errorf("hpo: no usable folds for budget %d", st.req.Budget)}
+		default:
+			results[i] = EvalResult{Scores: st.scores}
+			if st.fused {
+				stats.FusedTrials++
+			}
+		}
+	}
+	return results, stats
+}

@@ -1,0 +1,112 @@
+package hpo
+
+import (
+	"fmt"
+	"testing"
+
+	"enhancedbhpo/internal/nn"
+	"enhancedbhpo/internal/rng"
+	"enhancedbhpo/internal/search"
+)
+
+// TestEvaluateBatchMatchesSoloBitwise pins the fused-evaluation
+// contract end to end at the hpo layer: for a mixed bag of sampled
+// configurations — different solvers (including L-BFGS fallbacks),
+// architectures and budgets — EvaluateBatch returns, for every request,
+// exactly the fold scores a solo Evaluate with the same (cfg, budget,
+// rng) produces, at any matmul worker cap.
+func TestEvaluateBatchMatchesSoloBitwise(t *testing.T) {
+	train := tinyDataset(140, 21)
+	base := nn.DefaultConfig()
+	base.MaxIter = 6
+	base.HiddenLayerSizes = []int{6}
+	comps := VanillaComponents(3)
+	ev := NewCVEvaluator(train, base, comps)
+	space, err := search.TableIIISpace(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := space.SampleN(rng.New(99), 6)
+	budgets := []int{60, 60, 100, 140, 60, 100}
+	reqs := make([]EvalRequest, len(configs))
+	solo := make([]EvalResult, len(configs))
+	sawLBFGS := false
+	for i, cfg := range configs {
+		reqs[i] = EvalRequest{Cfg: cfg, Budget: budgets[i], R: rng.New(uint64(300 + i))}
+		scores, err := ev.Evaluate(cfg, budgets[i], rng.New(uint64(300+i)))
+		solo[i] = EvalResult{Scores: scores, Err: err}
+		if nnCfg, cerr := search.ToNNConfig(cfg, base); cerr == nil && nnCfg.Solver == nn.LBFGS {
+			sawLBFGS = true
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			results, stats := ev.EvaluateBatch(reqs, workers)
+			if len(results) != len(reqs) {
+				t.Fatalf("got %d results for %d requests", len(results), len(reqs))
+			}
+			for i, res := range results {
+				want := solo[i]
+				if (res.Err == nil) != (want.Err == nil) {
+					t.Fatalf("req %d: err %v, solo err %v", i, res.Err, want.Err)
+				}
+				if want.Err != nil {
+					if res.Err.Error() != want.Err.Error() {
+						t.Fatalf("req %d: err %q, solo err %q", i, res.Err, want.Err)
+					}
+					continue
+				}
+				if len(res.Scores) != len(want.Scores) {
+					t.Fatalf("req %d: %d scores, solo %d", i, len(res.Scores), len(want.Scores))
+				}
+				for fi := range want.Scores {
+					if res.Scores[fi] != want.Scores[fi] {
+						t.Fatalf("req %d fold %d: %x != solo %x (not bitwise identical)",
+							i, fi, res.Scores[fi], want.Scores[fi])
+					}
+				}
+			}
+			if stats.FusedTrials < 2 {
+				t.Fatalf("expected ≥2 fused trials, stats=%+v", stats)
+			}
+			if sawLBFGS && stats.SoloFallbacks == 0 {
+				t.Fatalf("lbfgs config present but no solo fallback recorded: %+v", stats)
+			}
+			if stats.FusedSteps == 0 || stats.StackedRows == 0 {
+				t.Fatalf("no fused work recorded: %+v", stats)
+			}
+		})
+	}
+}
+
+// TestEvaluateBatchErrors pins the error surface: empty batches are
+// no-ops, and a request whose fold construction fails carries exactly
+// the solo Evaluate error.
+func TestEvaluateBatchErrors(t *testing.T) {
+	results, stats := (&CVEvaluator{}).EvaluateBatch(nil, 0)
+	if len(results) != 0 || stats.FusedTrials != 0 {
+		t.Fatalf("empty batch: %v %+v", results, stats)
+	}
+	// 8 instances cannot support 5 folds (needs >= 10), so every request
+	// must fail with the solo fold-construction error.
+	train := tinyDataset(8, 3)
+	base := nn.DefaultConfig()
+	base.MaxIter = 5
+	ev := NewCVEvaluator(train, base, VanillaComponents(5))
+	space, _ := search.TableIIISpace(1)
+	cfg := space.NewConfig([]int{0})
+	reqs := []EvalRequest{
+		{Cfg: cfg, Budget: 8, R: rng.New(1)},
+		{Cfg: cfg, Budget: 8, R: rng.New(2)},
+	}
+	results, _ = ev.EvaluateBatch(reqs, 0)
+	for i, req := range reqs {
+		wantScores, wantErr := ev.Evaluate(req.Cfg, req.Budget, rng.New(uint64(1+i)))
+		if wantScores != nil || wantErr == nil {
+			t.Fatalf("expected solo fold error, got scores=%v err=%v", wantScores, wantErr)
+		}
+		if results[i].Err == nil || results[i].Err.Error() != wantErr.Error() {
+			t.Fatalf("req %d: batch error %q != solo error %q", i, results[i].Err, wantErr)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -42,6 +43,54 @@ func TestASHAWorkerCountDeterminism(t *testing.T) {
 		if got, want := trialKeys(parallel), trialKeys(serial); !equalStrings(got, want) {
 			t.Fatalf("seed %d: evaluation sets diverged:\n workers=8: %v\n workers=1: %v",
 				seed, got, want)
+		}
+	}
+}
+
+// TestASHATrialOrderAnyWorkers pins the serial-order emission replay:
+// Result.Trials and the Observe stream arrive in the identical order for
+// any worker count — the order a single-worker run produces — so anytime
+// curves built from either are scheduling-independent, not just the
+// evaluation set.
+func TestASHATrialOrderAnyWorkers(t *testing.T) {
+	space, quality := gradedSpace()
+	base := ASHAOptions{Eta: 2, MinBudget: 100, MaxConfigs: 16, Seed: 7}
+	run := func(workers int) (*Result, []string) {
+		ev := &fakeEvaluator{space: space, full: 1600, quality: quality, noise: 0.001}
+		var mu sync.Mutex
+		var seen []string
+		comps := vanComps().WithObserver(func(tr Trial) {
+			mu.Lock()
+			seen = append(seen, fmt.Sprintf("%s@%d=%x", tr.Config.ID(), tr.Round, tr.Score))
+			mu.Unlock()
+		})
+		opts := base
+		opts.Workers = workers
+		res, err := ASHA(space, ev, comps, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res, seen
+	}
+	serial, serialSeen := run(1)
+	if len(serialSeen) != len(serial.Trials) {
+		t.Fatalf("observer saw %d trials, result has %d", len(serialSeen), len(serial.Trials))
+	}
+	for _, workers := range []int{2, 8} {
+		res, seen := run(workers)
+		if len(res.Trials) != len(serial.Trials) {
+			t.Fatalf("workers=%d: %d trials, serial %d", workers, len(res.Trials), len(serial.Trials))
+		}
+		for i := range serial.Trials {
+			a, b := serial.Trials[i], res.Trials[i]
+			if a.Config.ID() != b.Config.ID() || a.Round != b.Round || a.Score != b.Score || a.Budget != b.Budget {
+				t.Fatalf("workers=%d: trial %d out of serial order: %s@%d vs %s@%d",
+					workers, i, b.Config.ID(), b.Round, a.Config.ID(), a.Round)
+			}
+		}
+		if !equalStrings(seen, serialSeen) {
+			t.Fatalf("workers=%d: observer stream diverged from serial order:\n got  %v\n want %v",
+				workers, seen, serialSeen)
 		}
 	}
 }

@@ -1,0 +1,189 @@
+package mat
+
+import (
+	"fmt"
+	"testing"
+
+	"enhancedbhpo/internal/rng"
+)
+
+// forcedKinds lists the kernel families to sweep explicitly via
+// SetKernel, independent of what init selected. SIMD is included
+// unconditionally: without CPU support SetKernel normalizes it to
+// Blocked, which must also be parity-clean.
+var forcedKinds = []KernelKind{Blocked, SIMD}
+
+// TestForcedKernelParity sweeps every kernel family over the full shape
+// table and worker counts, pinning bitwise agreement with the naive
+// references. This is the forced-kernel-mode counterpart of
+// TestBlockedKernelsMatchNaiveBitwise (which runs under the
+// init-selected family).
+func TestForcedKernelParity(t *testing.T) {
+	prev := ActiveKernel()
+	defer SetKernel(prev)
+	for _, kind := range forcedKinds {
+		SetKernel(kind)
+		t.Run(kind.String(), func(t *testing.T) {
+			for si, sh := range kernelShapes {
+				r := rng.New(uint64(7000 + si))
+				a := randDense(r, sh.m, sh.k)
+				b := randDense(r, sh.k, sh.n)
+				want := NewDense(sh.m, sh.n)
+				NaiveMul(want, a, b)
+				for _, w := range []int{1, 4} {
+					got := NewDense(sh.m, sh.n)
+					got.Fill(42)
+					MulWorkers(got, a, b, w)
+					bitwiseEqual(t, fmt.Sprintf("%v Mul %dx%dx%d workers=%d", kind, sh.m, sh.k, sh.n, w), got, want)
+				}
+
+				bt := randDense(r, sh.n, sh.k)
+				wantT := NewDense(sh.m, sh.n)
+				NaiveMulT(wantT, a, bt)
+				for _, w := range []int{1, 4} {
+					got := NewDense(sh.m, sh.n)
+					got.Fill(42)
+					MulTWorkers(got, a, bt, w)
+					bitwiseEqual(t, fmt.Sprintf("%v MulT %dx%dx%d workers=%d", kind, sh.m, sh.k, sh.n, w), got, wantT)
+				}
+
+				at := randDense(r, sh.k, sh.m)
+				b2 := randDense(r, sh.k, sh.n)
+				wantG := NewDense(sh.m, sh.n)
+				NaiveTMul(wantG, at, b2)
+				for _, w := range []int{1, 4} {
+					got := NewDense(sh.m, sh.n)
+					got.Fill(42)
+					TMulWorkers(got, at, b2, w)
+					bitwiseEqual(t, fmt.Sprintf("%v TMul %dx%dx%d workers=%d", kind, sh.m, sh.k, sh.n, w), got, wantG)
+				}
+			}
+		})
+	}
+}
+
+// TestSIMDNormalization pins that requesting SIMD always lands on a
+// runnable family and that ActiveKernel reports what actually runs.
+func TestSIMDNormalization(t *testing.T) {
+	prev := ActiveKernel()
+	defer SetKernel(prev)
+	SetKernel(SIMD)
+	got := ActiveKernel()
+	if SIMDAvailable() {
+		if got != SIMD {
+			t.Fatalf("ActiveKernel = %v after SetKernel(SIMD) with support, want SIMD", got)
+		}
+	} else if got != Blocked {
+		t.Fatalf("ActiveKernel = %v after SetKernel(SIMD) without support, want Blocked", got)
+	}
+}
+
+func TestParseKernel(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want KernelKind
+	}{{"naive", NaiveKernel}, {"blocked", Blocked}, {"simd", SIMD}} {
+		got, err := ParseKernel(tc.name)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseKernel(%q) = %v, %v; want %v", tc.name, got, err, tc.want)
+		}
+		if got.String() != tc.name {
+			t.Fatalf("KernelKind(%v).String() = %q, want %q", got, got.String(), tc.name)
+		}
+	}
+	if _, err := ParseKernel("turbo"); err == nil {
+		t.Fatal("ParseKernel accepted an unknown kernel name")
+	}
+}
+
+// batchShapes mixes homogeneous and heterogeneous triples, including
+// single-row and threshold-crossing members, so the stacked-row
+// partition is exercised across triple boundaries.
+var batchShapes = [][]struct{ m, k, n int }{
+	{{32, 50, 50}, {32, 50, 50}, {32, 50, 50}, {32, 50, 50}}, // same-shape fusion group
+	{{1, 5, 3}, {7, 13, 31}, {64, 33, 17}, {2, 3, 4}},        // ragged shapes
+	{{128, 100, 100}, {128, 100, 100}},                       // crosses parallelMinFlops
+	{{5, 7, 9}},                                              // single triple
+}
+
+// TestBatchMulParity pins the grouped dispatchers against solo
+// sequential calls, for every kernel family and worker count: each
+// triple's result must be bitwise-identical however it is grouped or
+// partitioned.
+func TestBatchMulParity(t *testing.T) {
+	prev := ActiveKernel()
+	defer SetKernel(prev)
+	kinds := append([]KernelKind{NaiveKernel}, forcedKinds...)
+	for _, kind := range kinds {
+		SetKernel(kind)
+		t.Run(kind.String(), func(t *testing.T) {
+			for gi, group := range batchShapes {
+				r := rng.New(uint64(9000 + gi))
+				nT := len(group)
+				as := make([]*Dense, nT)
+				bs := make([]*Dense, nT)
+				bts := make([]*Dense, nT)
+				ats := make([]*Dense, nT)
+				wantMul := make([]*Dense, nT)
+				wantMulT := make([]*Dense, nT)
+				wantTMul := make([]*Dense, nT)
+				for i, sh := range group {
+					as[i] = randDense(r, sh.m, sh.k)
+					bs[i] = randDense(r, sh.k, sh.n)
+					bts[i] = randDense(r, sh.n, sh.k)
+					ats[i] = randDense(r, sh.k, sh.m)
+					wantMul[i] = NewDense(sh.m, sh.n)
+					MulWorkers(wantMul[i], as[i], bs[i], 1)
+					wantMulT[i] = NewDense(sh.m, sh.n)
+					MulTWorkers(wantMulT[i], as[i], bts[i], 1)
+					wantTMul[i] = NewDense(sh.m, sh.n)
+					TMulWorkers(wantTMul[i], ats[i], bs[i], 1)
+				}
+				for _, w := range []int{1, 2, 3, 8} {
+					dsts := make([]*Dense, nT)
+					for i, sh := range group {
+						dsts[i] = NewDense(sh.m, sh.n)
+						dsts[i].Fill(42)
+					}
+					BatchMulWorkers(dsts, as, bs, w)
+					for i := range dsts {
+						bitwiseEqual(t, fmt.Sprintf("group %d BatchMul[%d] workers=%d", gi, i, w), dsts[i], wantMul[i])
+					}
+
+					for i, sh := range group {
+						dsts[i] = NewDense(sh.m, sh.n)
+						dsts[i].Fill(42)
+					}
+					BatchMulTWorkers(dsts, as, bts, w)
+					for i := range dsts {
+						bitwiseEqual(t, fmt.Sprintf("group %d BatchMulT[%d] workers=%d", gi, i, w), dsts[i], wantMulT[i])
+					}
+
+					for i, sh := range group {
+						dsts[i] = NewDense(sh.m, sh.n)
+						dsts[i].Fill(42)
+					}
+					BatchTMulWorkers(dsts, ats, bs, w)
+					for i := range dsts {
+						bitwiseEqual(t, fmt.Sprintf("group %d BatchTMul[%d] workers=%d", gi, i, w), dsts[i], wantTMul[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchMulChecks pins the grouped dispatchers' validation: length
+// mismatches and per-triple shape mismatches must panic like the solo
+// entry points, and empty batches are no-ops.
+func TestBatchMulChecks(t *testing.T) {
+	BatchMul(nil, nil, nil) // empty: no-op
+	a := NewDense(2, 3)
+	b := NewDense(3, 4)
+	d := NewDense(2, 4)
+	assertPanics(t, "length mismatch", func() { BatchMul([]*Dense{d}, []*Dense{a}, nil) })
+	bad := NewDense(5, 4)
+	assertPanics(t, "shape mismatch", func() {
+		BatchMul([]*Dense{d, d}, []*Dense{a, a}, []*Dense{b, bad})
+	})
+}

@@ -25,6 +25,8 @@
 package mat
 
 import (
+	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,22 +37,95 @@ type KernelKind int32
 
 const (
 	// Blocked is the tuned register-blocked (and, above the size
-	// threshold, row-parallel) kernel family. The default.
+	// threshold, row-parallel) portable kernel family.
 	Blocked KernelKind = iota
 	// NaiveKernel routes Mul/MulT/TMul to the retained sequential
 	// reference kernels — the pre-tuning baseline kept for property
 	// tests and benchmark comparisons.
 	NaiveKernel
+	// SIMD is the AVX2 microkernel family (amd64 only), bitwise-
+	// identical to Blocked and NaiveKernel. Selected by default when
+	// the CPU supports it; requesting it elsewhere falls back to
+	// Blocked.
+	SIMD
 )
 
-var activeKernel atomic.Int32 // KernelKind; zero value = Blocked
+// String implements fmt.Stringer with the names BHPO_KERNEL accepts.
+func (k KernelKind) String() string {
+	switch k {
+	case Blocked:
+		return "blocked"
+	case NaiveKernel:
+		return "naive"
+	case SIMD:
+		return "simd"
+	default:
+		return fmt.Sprintf("KernelKind(%d)", int32(k))
+	}
+}
+
+// ParseKernel converts a kernel name ("naive", "blocked", "simd") to its
+// KernelKind, for the BHPO_KERNEL environment override and flag parsing.
+func ParseKernel(s string) (KernelKind, error) {
+	switch s {
+	case "blocked":
+		return Blocked, nil
+	case "naive":
+		return NaiveKernel, nil
+	case "simd":
+		return SIMD, nil
+	}
+	return 0, fmt.Errorf("mat: unknown kernel %q (want naive, blocked or simd)", s)
+}
+
+var activeKernel atomic.Int32 // KernelKind; set by init
+
+// init selects the fastest supported kernel family (SIMD where AVX2 is
+// available, Blocked otherwise). The BHPO_KERNEL environment variable
+// forces a specific family — the forced-fallback CI run uses it to keep
+// the portable path tested on AVX2 hardware. Unknown names are ignored
+// rather than fatal: kernel choice never changes results, only speed.
+func init() {
+	k := Blocked
+	if simdAvailable {
+		k = SIMD
+	}
+	if name := os.Getenv("BHPO_KERNEL"); name != "" {
+		if parsed, err := ParseKernel(name); err == nil {
+			k = parsed
+		}
+	}
+	activeKernel.Store(int32(normalizeKernel(k)))
+}
+
+// normalizeKernel maps a requested kind to the kind that will actually
+// run, so ActiveKernel always reports truthfully.
+func normalizeKernel(k KernelKind) KernelKind {
+	if k == SIMD && !simdAvailable {
+		return Blocked
+	}
+	return k
+}
 
 // SetKernel switches the implementation behind Mul/MulT/TMul and returns
-// the previous setting. It exists for benchmarks and tests that need the
-// naive baseline end to end; production code never calls it.
+// the previous setting. Requesting SIMD without CPU support selects
+// Blocked. It exists for benchmarks and tests that need a specific
+// family end to end; production code never calls it.
 func SetKernel(k KernelKind) KernelKind {
-	return KernelKind(activeKernel.Swap(int32(k)))
+	return KernelKind(activeKernel.Swap(int32(normalizeKernel(k))))
 }
+
+// ActiveKernel returns the kernel family currently dispatched to.
+func ActiveKernel() KernelKind { return KernelKind(activeKernel.Load()) }
+
+// SIMDAvailable reports whether the SIMD kernel family is usable on this
+// CPU (amd64 with AVX2 enabled by the OS).
+func SIMDAvailable() bool { return simdAvailable }
+
+// CPUFeatures returns a comma-separated list of the detected SIMD
+// instruction-set extensions relevant to kernel selection (empty on
+// platforms without the probe). For service introspection endpoints.
+func CPUFeatures() string { return cpuFeatures() }
 
 // parallelMinFlops is the multiply-add count below which the parallel
 // path is never taken: partitioning costs two goroutine handoffs per
@@ -108,19 +183,48 @@ func Mul(dst, a, b *Dense) { MulWorkers(dst, a, b, 0) }
 // worker count.
 func MulWorkers(dst, a, b *Dense, workers int) {
 	checkMul(dst, a, b)
-	if KernelKind(activeKernel.Load()) == NaiveKernel {
+	kind := KernelKind(activeKernel.Load())
+	if kind == NaiveKernel {
 		naiveMul(dst, a, b)
 		return
 	}
+	f := mulRangeKernel(kind)
 	w := resolveWorkers(workers, a.rows, a.rows*a.cols*b.cols)
 	if w <= 1 {
 		// Direct call: the closure below captures and escapes, and the
 		// sequential path must stay allocation-free for the zero-alloc
 		// training loop.
-		mulBlocked(dst, a, b, 0, a.rows)
+		f(dst, a, b, 0, a.rows)
 		return
 	}
-	partitionRows(a.rows, w, func(i0, i1 int) { mulBlocked(dst, a, b, i0, i1) })
+	partitionRows(a.rows, w, func(i0, i1 int) { f(dst, a, b, i0, i1) })
+}
+
+// rangeKernel computes a contiguous range of destination rows; every
+// kernel family exposes its Mul/MulT/TMul bodies in this shape so the
+// solo dispatchers, the row partitioner and the Batch* grouped
+// dispatchers all run the identical per-row code.
+type rangeKernel func(dst, a, b *Dense, i0, i1 int)
+
+func mulRangeKernel(kind KernelKind) rangeKernel {
+	if kind == SIMD {
+		return mulSIMD
+	}
+	return mulBlocked
+}
+
+func mulTRangeKernel(kind KernelKind) rangeKernel {
+	if kind == SIMD {
+		return mulTSIMD
+	}
+	return mulTBlocked
+}
+
+func tMulRangeKernel(kind KernelKind) rangeKernel {
+	if kind == SIMD {
+		return tMulSIMD
+	}
+	return tMulBlocked
 }
 
 // MulT computes dst = a * bᵀ. dst must be a.rows×b.rows. See MulTWorkers.
@@ -129,16 +233,18 @@ func MulT(dst, a, b *Dense) { MulTWorkers(dst, a, b, 0) }
 // MulTWorkers is MulT with an explicit worker cap (0 = GOMAXPROCS).
 func MulTWorkers(dst, a, b *Dense, workers int) {
 	checkMulT(dst, a, b)
-	if KernelKind(activeKernel.Load()) == NaiveKernel {
+	kind := KernelKind(activeKernel.Load())
+	if kind == NaiveKernel {
 		naiveMulT(dst, a, b)
 		return
 	}
+	f := mulTRangeKernel(kind)
 	w := resolveWorkers(workers, a.rows, a.rows*a.cols*b.rows)
 	if w <= 1 {
-		mulTBlocked(dst, a, b, 0, a.rows)
+		f(dst, a, b, 0, a.rows)
 		return
 	}
-	partitionRows(a.rows, w, func(i0, i1 int) { mulTBlocked(dst, a, b, i0, i1) })
+	partitionRows(a.rows, w, func(i0, i1 int) { f(dst, a, b, i0, i1) })
 }
 
 // TMul computes dst = aᵀ * b. dst must be a.cols×b.cols. See TMulWorkers.
@@ -147,16 +253,18 @@ func TMul(dst, a, b *Dense) { TMulWorkers(dst, a, b, 0) }
 // TMulWorkers is TMul with an explicit worker cap (0 = GOMAXPROCS).
 func TMulWorkers(dst, a, b *Dense, workers int) {
 	checkTMul(dst, a, b)
-	if KernelKind(activeKernel.Load()) == NaiveKernel {
+	kind := KernelKind(activeKernel.Load())
+	if kind == NaiveKernel {
 		naiveTMul(dst, a, b)
 		return
 	}
+	f := tMulRangeKernel(kind)
 	w := resolveWorkers(workers, a.cols, a.rows*a.cols*b.cols)
 	if w <= 1 {
-		tMulBlocked(dst, a, b, 0, a.cols)
+		f(dst, a, b, 0, a.cols)
 		return
 	}
-	partitionRows(a.cols, w, func(i0, i1 int) { tMulBlocked(dst, a, b, i0, i1) })
+	partitionRows(a.cols, w, func(i0, i1 int) { f(dst, a, b, i0, i1) })
 }
 
 // mulBlocked computes rows [i0, i1) of dst = a*b. The k loop is unrolled
@@ -166,6 +274,12 @@ func TMulWorkers(dst, a, b *Dense, workers int) {
 // Each element's additions stay in ascending-k order.
 func mulBlocked(dst, a, b *Dense, i0, i1 int) {
 	kDim, n := a.cols, b.cols
+	if n >= tileMinN && kDim >= tileMinK {
+		// Wide B spills the caches when re-streamed per row; switch to
+		// the panel-tiled driver (bitwise-identical, see tiled.go).
+		mulTiled(dst, a, b, i0, i1, scalarAxpy)
+		return
+	}
 	bd := b.data
 	for i := i0; i < i1; i++ {
 		arow := a.data[i*kDim : (i+1)*kDim]
@@ -245,6 +359,10 @@ func mulTBlocked(dst, a, b *Dense, i0, i1 int) {
 // naive kernel.
 func tMulBlocked(dst, a, b *Dense, i0, i1 int) {
 	kDim, p, n := a.rows, a.cols, b.cols
+	if n >= tileMinN && kDim >= tileMinK {
+		tMulTiled(dst, a, b, i0, i1, scalarAxpy)
+		return
+	}
 	ad, bd := a.data, b.data
 	for i := i0; i < i1; i++ {
 		drow := dst.data[i*n : i*n+n : i*n+n]

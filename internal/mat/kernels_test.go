@@ -2,6 +2,7 @@ package mat
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"enhancedbhpo/internal/rng"
@@ -125,9 +126,20 @@ func TestParallelWorkerCountDeterminism(t *testing.T) {
 // TestSetKernelDispatch pins that the benchmark escape hatch really
 // routes the public entry points to the naive kernels and restores.
 func TestSetKernelDispatch(t *testing.T) {
+	wantDefault := Blocked
+	if SIMDAvailable() {
+		wantDefault = SIMD
+	}
+	// The forced-fallback CI run (`make fallback`) overrides the default
+	// family via BHPO_KERNEL; the pinned expectation follows it.
+	if name := os.Getenv("BHPO_KERNEL"); name != "" {
+		if parsed, err := ParseKernel(name); err == nil {
+			wantDefault = normalizeKernel(parsed)
+		}
+	}
 	prev := SetKernel(NaiveKernel)
-	if prev != Blocked {
-		t.Fatalf("default kernel = %d, want Blocked", prev)
+	if prev != wantDefault {
+		t.Fatalf("default kernel = %v, want %v", prev, wantDefault)
 	}
 	defer SetKernel(prev)
 	r := rng.New(5)
@@ -140,6 +152,46 @@ func TestSetKernelDispatch(t *testing.T) {
 	bitwiseEqual(t, "naive dispatch", got, want)
 	if back := SetKernel(Blocked); back != NaiveKernel {
 		t.Fatalf("SetKernel returned %d, want NaiveKernel", back)
+	}
+}
+
+// TestBlockedKernelsTiledShapes extends the bitwise parity pin to shapes
+// that cross the cache-blocking threshold (b.cols ≥ tileMinN with
+// a-depth ≥ tileMinK), including odd sizes that land in every panel
+// remainder path. Runs under whatever kernel family is active (the
+// forced-fallback CI run repeats it with BHPO_KERNEL=blocked).
+func TestBlockedKernelsTiledShapes(t *testing.T) {
+	tiledShapes := []struct{ m, k, n int }{
+		{1, tileMinK, tileMinN}, // exact threshold boundary
+		{4, 64, 512},            // aligned panels
+		{9, 67, 515},            // odd everything: k%4, panel tails
+		{65, 129, 600},          // parallel path + partial panels
+		{3, 300, 1024},          // deep k, two full j-panel rows
+	}
+	for si, sh := range tiledShapes {
+		r := rng.New(uint64(4000 + si))
+		t.Run(fmt.Sprintf("%dx%dx%d", sh.m, sh.k, sh.n), func(t *testing.T) {
+			a := randDense(r, sh.m, sh.k)
+			b := randDense(r, sh.k, sh.n)
+			want := NewDense(sh.m, sh.n)
+			NaiveMul(want, a, b)
+			for _, w := range []int{1, 3, 8} {
+				got := NewDense(sh.m, sh.n)
+				got.Fill(42)
+				MulWorkers(got, a, b, w)
+				bitwiseEqual(t, fmt.Sprintf("Mul workers=%d", w), got, want)
+			}
+
+			at := randDense(r, sh.k, sh.m)
+			wantG := NewDense(sh.m, sh.n)
+			NaiveTMul(wantG, at, b)
+			for _, w := range []int{1, 3, 8} {
+				got := NewDense(sh.m, sh.n)
+				got.Fill(42)
+				TMulWorkers(got, at, b, w)
+				bitwiseEqual(t, fmt.Sprintf("TMul workers=%d", w), got, wantG)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,26 @@
+//go:build !amd64
+
+package mat
+
+// Non-amd64 stubs. simdAvailable is false, so kernel dispatch normalizes
+// any SIMD request to the portable blocked family and the microkernel
+// stubs below are unreachable; they exist only to keep the package
+// compiling on every platform.
+
+const compiledV3 = false
+
+var simdAvailable = false
+
+func axpy4avx(a0, a1, a2, a3 float64, b *float64, ldb uintptr, dst *float64, n uintptr) {
+	panic("mat: SIMD kernel called on a platform without SIMD support")
+}
+
+func axpy1avx(a0 float64, b *float64, dst *float64, n uintptr) {
+	panic("mat: SIMD kernel called on a platform without SIMD support")
+}
+
+func dot4avx(a *float64, b *float64, ldb, n uintptr, out *float64) {
+	panic("mat: SIMD kernel called on a platform without SIMD support")
+}
+
+func cpuFeatures() string { return "" }

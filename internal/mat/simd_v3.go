@@ -1,0 +1,8 @@
+//go:build amd64.v3
+
+package mat
+
+// compiledV3 is true when the package is built with GOAMD64=v3 (or
+// higher): the toolchain then assumes AVX2 everywhere, so the runtime
+// CPUID probe is redundant and the SIMD kernels are always usable.
+const compiledV3 = true

@@ -1,0 +1,7 @@
+//go:build amd64 && !amd64.v3
+
+package mat
+
+// compiledV3 is false on baseline GOAMD64 builds: AVX2 support must be
+// probed at init via CPUID before the SIMD kernels may be selected.
+const compiledV3 = false

@@ -1,0 +1,135 @@
+package mat
+
+// Cache-blocked (panel-tiled) matmul drivers for wide operands. The
+// register-blocked kernels stream all of B once per destination row; at
+// MLP-typical widths (≤ 256) B lives in L1/L2 and that is optimal, but
+// for wide layers (b.cols ≥ tileMinN) the re-streamed B panel spills the
+// caches and every row pays DRAM latency. The tiled drivers iterate
+// j-panels × k-panels × rows so one tileK×tileN block of B (32 KiB,
+// sized to L1d) is reused across every row before moving on.
+//
+// Tiling is bitwise-safe by construction: panel boundaries only change
+// *when* an output element's k-range contributions are applied, never
+// their order — ascending j-panels then ascending k-panels means each
+// dst element still accumulates its products in ascending-k order, and
+// the innermost sweeps are the very same axpy kernels (scalar or SIMD)
+// the untiled paths use. The parity property tests pin this.
+
+const (
+	// tileMinN is the b.cols threshold at which Mul/TMul switch to the
+	// panel-tiled path. Below it the whole B panel fits comfortably in
+	// L2 and the untiled streaming kernels win.
+	tileMinN = 512
+	// tileMinK is the minimum a-depth for tiling; shallow multiplies
+	// re-stream so little of B that tiling is pure overhead.
+	tileMinK = 64
+	// tileN × tileK is the B panel kept hot across rows:
+	// 64×64 doubles = 32 KiB, sized to fit L1d alongside the dst tile.
+	tileN = 64
+	tileK = 64
+)
+
+// axpyFuncs is the microkernel pair the tiled drivers are parameterized
+// over: the scalar pair keeps the portable blocked family self-contained
+// and the SIMD pair routes to the AVX2 asm. Both implement the identical
+// element-order contract (see axpy4avx).
+type axpyFuncs struct {
+	// axpy4: dst[j] += a0*b[j] + a1*b[ldb+j] + a2*b[2*ldb+j] + a3*b[3*ldb+j],
+	// adds applied in a0..a3 order per element.
+	axpy4 func(a0, a1, a2, a3 float64, b []float64, ldb int, dst []float64)
+	// axpy1: dst[j] += a0*b[j].
+	axpy1 func(a0 float64, b []float64, dst []float64)
+}
+
+var scalarAxpy = axpyFuncs{axpy4: axpy4go, axpy1: axpy1go}
+
+func axpy4go(a0, a1, a2, a3 float64, b []float64, ldb int, dst []float64) {
+	b0 := b[:len(dst)]
+	b1 := b[ldb : ldb+len(dst)]
+	b2 := b[2*ldb : 2*ldb+len(dst)]
+	b3 := b[3*ldb : 3*ldb+len(dst)]
+	for j := range dst {
+		d := dst[j]
+		d += float64(a0 * b0[j])
+		d += float64(a1 * b1[j])
+		d += float64(a2 * b2[j])
+		d += float64(a3 * b3[j])
+		dst[j] = d
+	}
+}
+
+func axpy1go(a0 float64, b []float64, dst []float64) {
+	b0 := b[:len(dst)]
+	for j := range dst {
+		dst[j] += float64(a0 * b0[j])
+	}
+}
+
+// mulTiled computes rows [i0, i1) of dst = a*b in (j, k) panels.
+func mulTiled(dst, a, b *Dense, i0, i1 int, kf axpyFuncs) {
+	kDim, n := a.cols, b.cols
+	bd := b.data
+	for j0 := 0; j0 < n; j0 += tileN {
+		j1 := j0 + tileN
+		if j1 > n {
+			j1 = n
+		}
+		for k0 := 0; k0 < kDim; k0 += tileK {
+			k1 := k0 + tileK
+			if k1 > kDim {
+				k1 = kDim
+			}
+			for i := i0; i < i1; i++ {
+				arow := a.data[i*kDim : (i+1)*kDim]
+				drow := dst.data[i*n+j0 : i*n+j1]
+				if k0 == 0 {
+					for j := range drow {
+						drow[j] = 0
+					}
+				}
+				k := k0
+				for ; k+4 <= k1; k += 4 {
+					kf.axpy4(arow[k], arow[k+1], arow[k+2], arow[k+3], bd[k*n+j0:], n, drow)
+				}
+				for ; k < k1; k++ {
+					kf.axpy1(arow[k], bd[k*n+j0:], drow)
+				}
+			}
+		}
+	}
+}
+
+// tMulTiled computes rows [i0, i1) of dst = aᵀ * b in (j, k) panels; row
+// i of dst is column i of a, so the a values are gathered at stride
+// a.cols.
+func tMulTiled(dst, a, b *Dense, i0, i1 int, kf axpyFuncs) {
+	kDim, p, n := a.rows, a.cols, b.cols
+	ad, bd := a.data, b.data
+	for j0 := 0; j0 < n; j0 += tileN {
+		j1 := j0 + tileN
+		if j1 > n {
+			j1 = n
+		}
+		for k0 := 0; k0 < kDim; k0 += tileK {
+			k1 := k0 + tileK
+			if k1 > kDim {
+				k1 = kDim
+			}
+			for i := i0; i < i1; i++ {
+				drow := dst.data[i*n+j0 : i*n+j1]
+				if k0 == 0 {
+					for j := range drow {
+						drow[j] = 0
+					}
+				}
+				k := k0
+				for ; k+4 <= k1; k += 4 {
+					kf.axpy4(ad[k*p+i], ad[(k+1)*p+i], ad[(k+2)*p+i], ad[(k+3)*p+i], bd[k*n+j0:], n, drow)
+				}
+				for ; k < k1; k++ {
+					kf.axpy1(ad[k*p+i], bd[k*n+j0:], drow)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"enhancedbhpo/internal/hpo"
+	"enhancedbhpo/internal/rng"
+	"enhancedbhpo/internal/search"
+)
+
+// fusedEvaluator sits between a scope's evaluation cache and its CV
+// evaluator and batches concurrent cache-missing evaluations of the same
+// budget into one hpo.EvaluateBatch call, so their per-fold model fits
+// run through the lockstep fused trainer (grouped matmul dispatch)
+// instead of training one model per pool slot. Fusion is a pure
+// scheduling change: EvaluateBatch returns, for every member, exactly
+// the scores a solo Evaluate would — so cache keys, trial scores and
+// anytime curves are bitwise-unchanged whether or not requests fuse.
+//
+// Grouping is leader-based: the first evaluation to arrive for a budget
+// becomes the group leader, waits a short collection window for peers
+// (cut short when the group reaches pool size), then runs the whole
+// group and delivers each member's result. With at most one evaluation
+// in flight the window is skipped entirely — there is nobody to fuse
+// with — so solo workloads see no added latency.
+type fusedEvaluator struct {
+	cv       *hpo.CVEvaluator
+	pool     *Pool
+	window   time.Duration
+	maxGroup int
+	// kernelWorkers is the per-evaluation matmul cap; a fused group of g
+	// trials dispatches with min(g × kernelWorkers, GOMAXPROCS) workers,
+	// so fusion uses the cores its members were each entitled to without
+	// oversubscribing the machine.
+	kernelWorkers int
+
+	onFused    func(trials, rows int64) // fused members, stacked minibatch rows
+	onFallback func(n int64)            // members that ended up evaluating solo
+
+	mu     sync.Mutex
+	groups map[int]*fuseGroup // keyed by budget
+}
+
+type fuseGroup struct {
+	waiters []*fuseWaiter
+	filled  chan struct{} // closed when the group reaches maxGroup
+}
+
+type fuseWaiter struct {
+	req  hpo.EvalRequest
+	done chan fuseResult // buffered(1): delivery never blocks the leader
+}
+
+type fuseResult struct {
+	scores []float64
+	err    error
+}
+
+func newFusedEvaluator(cv *hpo.CVEvaluator, pool *Pool, window time.Duration, kernelWorkers int,
+	onFused func(trials, rows int64), onFallback func(n int64)) *fusedEvaluator {
+	maxGroup := pool.Size()
+	if maxGroup < 2 {
+		maxGroup = 2
+	}
+	if kernelWorkers < 1 {
+		kernelWorkers = 1
+	}
+	return &fusedEvaluator{
+		cv:            cv,
+		pool:          pool,
+		window:        window,
+		maxGroup:      maxGroup,
+		kernelWorkers: kernelWorkers,
+		onFused:       onFused,
+		onFallback:    onFallback,
+		groups:        map[int]*fuseGroup{},
+	}
+}
+
+// FullBudget implements hpo.Evaluator.
+func (f *fusedEvaluator) FullBudget() int { return f.cv.FullBudget() }
+
+// Evaluate implements hpo.Evaluator.
+func (f *fusedEvaluator) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([]float64, error) {
+	// Callers hold a pool slot, so InUse <= 1 means this evaluation is
+	// the only one in flight: skip the collection window.
+	if f.pool.InUse() <= 1 {
+		if f.onFallback != nil {
+			f.onFallback(1)
+		}
+		return f.cv.Evaluate(cfg, budget, r)
+	}
+	w := &fuseWaiter{
+		req:  hpo.EvalRequest{Cfg: cfg, Budget: budget, R: r},
+		done: make(chan fuseResult, 1),
+	}
+	f.mu.Lock()
+	g, ok := f.groups[budget]
+	leader := !ok
+	if leader {
+		g = &fuseGroup{filled: make(chan struct{})}
+		f.groups[budget] = g
+	}
+	g.waiters = append(g.waiters, w)
+	if len(g.waiters) >= f.maxGroup {
+		// Full: detach so later arrivals start a fresh group, and wake
+		// the leader out of its window early.
+		delete(f.groups, budget)
+		close(g.filled)
+	}
+	f.mu.Unlock()
+	if leader {
+		f.lead(budget, g)
+	}
+	res := <-w.done
+	return res.scores, res.err
+}
+
+// lead waits out the collection window (cut short when the group fills),
+// detaches the group and runs it, delivering every member's result —
+// including the leader's own, read back in Evaluate like any joiner's.
+func (f *fusedEvaluator) lead(budget int, g *fuseGroup) {
+	t := time.NewTimer(f.window)
+	select {
+	case <-g.filled:
+	case <-t.C:
+	}
+	t.Stop()
+	f.mu.Lock()
+	if f.groups[budget] == g {
+		delete(f.groups, budget)
+	}
+	waiters := g.waiters
+	f.mu.Unlock()
+	f.runGroup(waiters)
+}
+
+// runGroup evaluates the detached group — fused when it has at least two
+// members — and delivers every member's result. The recover armor is
+// load-bearing: the leader's own panics would be recovered by its
+// pooled-evaluator caller, but a panic here before delivery would leave
+// the joiners blocked forever, so it is converted into a per-member
+// error instead.
+func (f *fusedEvaluator) runGroup(waiters []*fuseWaiter) {
+	defer func() {
+		if v := recover(); v != nil {
+			err := fmt.Errorf("serve: fused evaluation panicked: %v", v)
+			for _, w := range waiters {
+				select {
+				case w.done <- fuseResult{err: err}:
+				default: // result already delivered
+				}
+			}
+		}
+	}()
+	if len(waiters) == 1 {
+		w := waiters[0]
+		if f.onFallback != nil {
+			f.onFallback(1)
+		}
+		scores, err := f.cv.Evaluate(w.req.Cfg, w.req.Budget, w.req.R)
+		w.done <- fuseResult{scores: scores, err: err}
+		return
+	}
+	reqs := make([]hpo.EvalRequest, len(waiters))
+	for i, w := range waiters {
+		reqs[i] = w.req
+	}
+	workers := len(waiters) * f.kernelWorkers
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	results, stats := f.cv.EvaluateBatch(reqs, workers)
+	if f.onFused != nil && stats.FusedTrials > 0 {
+		f.onFused(int64(stats.FusedTrials), stats.StackedRows)
+	}
+	if f.onFallback != nil && len(waiters) > stats.FusedTrials {
+		// Members that joined a group but did not fuse (L-BFGS solo
+		// routes, errored requests, no lockstep overlap) count as
+		// fallbacks.
+		f.onFallback(int64(len(waiters) - stats.FusedTrials))
+	}
+	for i, w := range waiters {
+		w.done <- fuseResult{scores: results[i].Scores, err: results[i].Err}
+	}
+}

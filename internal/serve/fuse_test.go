@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// runFuseJob runs one job to completion on a fresh manager and returns
+// its terminal snapshot plus the fusion counters.
+func runFuseJob(t *testing.T, cfg Config, spec JobSpec) (Snapshot, int64, int64) {
+	t.Helper()
+	m := NewManager(cfg)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := m.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for !terminal(job.Status()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return job.Snapshot(), m.evalsFused.Load(), m.fuseFallbacks.Load()
+}
+
+// TestFusedEvaluationDeterminism pins the tentpole invariant end to end
+// at the service layer: a seeded ASHA job produces the identical anytime
+// curve — same evaluations, budgets and bitwise-equal incumbent scores —
+// and the identical winner, test score and trial count at pool sizes 1,
+// 4 and 8, with fused evaluation on and off. Fusion may only change
+// wall-clock scheduling, never a number. At pool 8 with a generous
+// collection window it also asserts that fusion actually happened.
+func TestFusedEvaluationDeterminism(t *testing.T) {
+	// On a single-P runtime the pool's evaluations serialize — one worker
+	// goroutine runs eval after eval without yielding — so occupancy never
+	// exceeds one and the fuser (correctly) skips its collection window.
+	// Raise GOMAXPROCS so pool workers genuinely overlap; every number is
+	// pinned to be identical at any parallelism, so the baseline comparison
+	// is unaffected.
+	if runtime.GOMAXPROCS(0) < 8 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	}
+	spec := smallSpec()
+	spec.Method = "asha"
+	base, _, _ := runFuseJob(t, Config{PoolSize: 1, DisableEvalFusion: true}, spec)
+	if base.Status != StatusDone {
+		t.Fatalf("baseline job: %s (%s)", base.Status, base.Error)
+	}
+	if len(base.Curve) == 0 || base.BestScore == nil || base.TestScore == nil {
+		t.Fatalf("baseline missing results: %+v", base)
+	}
+	for _, ps := range []int{1, 4, 8} {
+		for _, fuse := range []bool{false, true} {
+			name := fmt.Sprintf("pool=%d/fuse=%v", ps, fuse)
+			cfg := Config{
+				PoolSize:          ps,
+				DisableEvalFusion: !fuse,
+				// A wide window so that, on a loaded test machine, the
+				// concurrent first-rung evaluations reliably coalesce.
+				FuseWindow: 100 * time.Millisecond,
+			}
+			snap, fused, fallbacks := runFuseJob(t, cfg, spec)
+			if snap.Status != StatusDone {
+				t.Fatalf("%s: job %s (%s)", name, snap.Status, snap.Error)
+			}
+			if snap.Evaluations != base.Evaluations {
+				t.Fatalf("%s: %d evaluations, baseline %d", name, snap.Evaluations, base.Evaluations)
+			}
+			if len(snap.Curve) != len(base.Curve) {
+				t.Fatalf("%s: curve length %d, baseline %d", name, len(snap.Curve), len(base.Curve))
+			}
+			for i, pt := range snap.Curve {
+				bp := base.Curve[i]
+				// CumTime is wall time and legitimately varies; everything
+				// else must be bitwise-identical.
+				if pt.Evaluations != bp.Evaluations || pt.CumBudget != bp.CumBudget || pt.BestScore != bp.BestScore {
+					t.Fatalf("%s: curve[%d] = %+v, baseline %+v", name, i, pt, bp)
+				}
+			}
+			if *snap.BestScore != *base.BestScore || *snap.TestScore != *base.TestScore {
+				t.Fatalf("%s: best/test %v/%v, baseline %v/%v",
+					name, *snap.BestScore, *snap.TestScore, *base.BestScore, *base.TestScore)
+			}
+			if fmt.Sprint(snap.BestConfig) != fmt.Sprint(base.BestConfig) {
+				t.Fatalf("%s: best config %v, baseline %v", name, snap.BestConfig, base.BestConfig)
+			}
+			if !fuse && fused != 0 {
+				t.Fatalf("%s: fusion disabled but %d evals fused", name, fused)
+			}
+			if fuse && ps == 8 && fused == 0 {
+				t.Fatalf("%s: no evaluations fused (fallbacks=%d)", name, fallbacks)
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"enhancedbhpo/internal/dataset"
 	"enhancedbhpo/internal/events"
 	"enhancedbhpo/internal/hpo"
+	"enhancedbhpo/internal/mat"
 	"enhancedbhpo/internal/nn"
 	"enhancedbhpo/internal/rng"
 	"enhancedbhpo/internal/serve/evalcache"
@@ -90,10 +91,27 @@ type Config struct {
 	// disables compaction.
 	TraceMaxBytes int64
 	// KernelWorkers caps the matmul-kernel goroutines of each pooled
-	// evaluation. 0 selects NumCPU/PoolSize (at least 1) so pool workers ×
-	// kernel workers never oversubscribes the machine. Kernel results are
-	// bitwise-identical for any value, so this only shapes CPU use.
+	// evaluation. 0 selects GOMAXPROCS/PoolSize (at least 1); explicit
+	// values are clamped so PoolSize × KernelWorkers never exceeds
+	// GOMAXPROCS — with fusion a group of g trials dispatches with
+	// g × KernelWorkers workers, so an oversubscribed product would
+	// multiply, not just double. Kernel results are bitwise-identical
+	// for any value, so this only shapes CPU use.
 	KernelWorkers int
+	// DisableEvalFusion turns off cross-trial fused evaluation: with it
+	// set, concurrent cache-missing evaluations each train their fold
+	// models alone instead of batching same-budget groups through the
+	// lockstep trainer. Fusion never changes a score (each member's
+	// results are bitwise-identical to solo execution), so this is a
+	// debugging/benchmarking switch, not a correctness one. The zero
+	// value (fusion on) is the default; cmd/bhpod exposes it as
+	// -fuse-evals.
+	DisableEvalFusion bool
+	// FuseWindow is how long a fuse group's leader waits for same-budget
+	// peers before running the group (cut short when the group reaches
+	// pool size, skipped entirely when nothing else is in flight).
+	// 0 selects 2ms.
+	FuseWindow time.Duration
 	// WrapEvaluator, when non-nil, wraps each job's evaluator between
 	// the pool gate and the cache. It is the fault-injection point used
 	// by the crash/restart and chaos tests and is applied per job as the
@@ -144,11 +162,15 @@ func (c Config) withDefaults() Config {
 	if c.FailureBudget <= 0 {
 		c.FailureBudget = 3
 	}
-	if c.KernelWorkers <= 0 {
-		c.KernelWorkers = runtime.NumCPU() / c.PoolSize
+	maxProcs := runtime.GOMAXPROCS(0)
+	if c.KernelWorkers <= 0 || c.KernelWorkers*c.PoolSize > maxProcs {
+		c.KernelWorkers = maxProcs / c.PoolSize
 		if c.KernelWorkers < 1 {
 			c.KernelWorkers = 1
 		}
+	}
+	if c.FuseWindow <= 0 {
+		c.FuseWindow = 2 * time.Millisecond
 	}
 	return c
 }
@@ -194,6 +216,9 @@ type Manager struct {
 	traces *tracestore.Store // nil when persistence is disabled
 
 	evals            atomic.Int64
+	evalsFused       atomic.Int64
+	fusedRows        atomic.Int64
+	fuseFallbacks    atomic.Int64
 	trialFailures    atomic.Int64
 	traceErrs        atomic.Int64
 	journalErrs      atomic.Int64
@@ -803,12 +828,23 @@ func (m *Manager) buildScope(spec JobSpec) (*evalScope, error) {
 	base.LearningRateInit = 0.02
 	base.KernelWorkers = m.cfg.KernelWorkers
 	cv := hpo.NewCVEvaluator(train, base, comps)
+	var inner hpo.Evaluator = cv
+	if !m.cfg.DisableEvalFusion && m.pool.Size() > 1 {
+		// The fuser sits between the cache and the CV evaluator so only
+		// cache misses reach it; hits never pay the collection window.
+		inner = newFusedEvaluator(cv, m.pool, m.cfg.FuseWindow, m.cfg.KernelWorkers,
+			func(trials, rows int64) {
+				m.evalsFused.Add(trials)
+				m.fusedRows.Add(rows)
+			},
+			func(n int64) { m.fuseFallbacks.Add(n) })
+	}
 	return &evalScope{
 		train: train,
 		test:  test,
 		comps: comps,
 		cv:    cv,
-		cache: evalcache.New(cv, m.cfg.CacheEntries),
+		cache: evalcache.New(inner, m.cfg.CacheEntries),
 	}, nil
 }
 
@@ -867,6 +903,12 @@ type Metrics struct {
 	PoolInUse         int     `json:"pool_in_use"`
 	Evaluations       int64   `json:"evaluations"`
 	EvaluationsPerSec float64 `json:"evaluations_per_sec"`
+	EvalsFused        int64   `json:"evals_fused"`
+	FusedRows         int64   `json:"fused_rows"`
+	FuseFallbacks     int64   `json:"fuse_fallbacks"`
+	Kernel            string  `json:"kernel"`
+	CPUFeatures       string  `json:"cpu_features,omitempty"`
+	KernelWorkers     int     `json:"kernel_workers"`
 	TrialFailures     int64   `json:"trial_failures"`
 	DeadlineExceeded  int64   `json:"deadline_exceeded"`
 	EventSubscribers  int64   `json:"event_subscribers"`
@@ -900,6 +942,12 @@ func (m *Manager) Metrics() Metrics {
 		PoolSize:         m.pool.Size(),
 		PoolInUse:        m.pool.InUse(),
 		Evaluations:      m.evals.Load(),
+		EvalsFused:       m.evalsFused.Load(),
+		FusedRows:        m.fusedRows.Load(),
+		FuseFallbacks:    m.fuseFallbacks.Load(),
+		Kernel:           mat.ActiveKernel().String(),
+		CPUFeatures:      mat.CPUFeatures(),
+		KernelWorkers:    m.cfg.KernelWorkers,
 		TrialFailures:    m.trialFailures.Load(),
 		DeadlineExceeded: m.deadlineExceeded.Load(),
 		JournalErrors:    m.journalErrs.Load(),

@@ -13,6 +13,7 @@ import (
 
 	"enhancedbhpo/internal/events"
 	"enhancedbhpo/internal/hpo"
+	"enhancedbhpo/internal/mat"
 	"enhancedbhpo/internal/trace"
 )
 
@@ -269,6 +270,13 @@ type healthBody struct {
 	UptimeSec  float64 `json:"uptime_sec"`
 	Pending    int     `json:"pending"`
 	MaxPending int     `json:"max_pending"`
+	// Kernel is the active matmul kernel family (naive/blocked/simd) and
+	// CPUFeatures the detected SIMD feature set; FuseEvals reports
+	// whether cross-trial fused evaluation is enabled. Surfaced here so
+	// an operator's first probe shows what compute path the node runs.
+	Kernel      string `json:"kernel"`
+	CPUFeatures string `json:"cpu_features,omitempty"`
+	FuseEvals   bool   `json:"fuse_evals"`
 }
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
@@ -280,11 +288,14 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		status = "overloaded"
 	}
 	writeJSON(w, http.StatusOK, healthBody{
-		Status:     status,
-		Node:       s.manager.cfg.NodeName,
-		UptimeSec:  time.Since(s.manager.started).Seconds(),
-		Pending:    s.manager.PendingDepth(),
-		MaxPending: s.manager.cfg.MaxPending,
+		Status:      status,
+		Node:        s.manager.cfg.NodeName,
+		UptimeSec:   time.Since(s.manager.started).Seconds(),
+		Pending:     s.manager.PendingDepth(),
+		MaxPending:  s.manager.cfg.MaxPending,
+		Kernel:      mat.ActiveKernel().String(),
+		CPUFeatures: mat.CPUFeatures(),
+		FuseEvals:   !s.manager.cfg.DisableEvalFusion,
 	})
 }
 
