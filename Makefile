@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check crash chaos sse failover fallback bench bench-smoke bench-multicore fmt serve clean
+.PHONY: all build test race vet check crash chaos sse failover membership fallback bench bench-smoke bench-multicore fmt serve clean
 
 # The kernel/Fit/fused-eval benchmark family captured in
 # BENCH_kernels.json.
@@ -49,17 +49,29 @@ sse:
 	$(GO) test -race -count=1 -run 'TestSSE|TestSlowConsumerDropsCounted|TestGetJobSince|TestTraceSurvivesKillAndRestart|TestMetricsExposeEventCounters' ./internal/serve/
 	$(GO) test -race -count=1 -run 'TestWatch' ./cmd/bhpo/
 
-# Cluster failover suite: the node-kill chaos e2e (a worker killed -9
-# mid-storm must lose zero jobs; a replacement restored from shipped
-# journal segments serves the dead node's jobs with byte-identical
-# pre-crash curves, and an SSE watcher through the coordinator resumes
-# without a sequence gap), plus the hash-ring, shipper and coordinator
-# unit suites. Plain `go test` runs a ~2s storm; BHPOD_CHAOS_SECONDS
-# overrides the length.
+# Cluster failover suite: the node-kill chaos e2es — the manual-replace
+# variant and, with BHPOD_AUTO_FAILOVER=1, the zero-operator variant (a
+# worker killed -9 mid-storm heals with no manual /cluster/replace: the
+# coordinator verifies shipped replicas across sink roots, quarantines a
+# failing standby, promotes the next, survives its own restart
+# mid-incident via the membership journal, loses zero acked jobs, keeps
+# byte-identical pre-crash curves, and resumes SSE at last-seq+1) — plus
+# the hash-ring, multi-sink shipper and coordinator unit suites. Plain
+# `go test` runs a ~2s storm; BHPOD_CHAOS_SECONDS overrides the length.
 failover:
 	$(GO) test -race -count=1 ./internal/serve/shipper/...
-	BHPOD_CHAOS_SECONDS=30 $(GO) test -race -count=1 -timeout 600s ./internal/coord/
-	$(GO) test -race -count=1 -run 'TestReplayFromShippedMatchesLocal' ./internal/serve/
+	BHPOD_CHAOS_SECONDS=30 BHPOD_AUTO_FAILOVER=1 $(GO) test -race -count=1 -timeout 600s ./internal/coord/
+	$(GO) test -race -count=1 -run 'TestReplayFromShippedMatchesLocal|TestSubmitToken' ./internal/serve/
+
+# Runtime-membership suite: join a node into a live ring, storm jobs
+# onto it, drain it (no new routing), leave it (wait-for-idle, then
+# remove) and recover the post-churn member set from the coordinator's
+# crash-safe journal — plus the submit-path retry regression, all under
+# the race detector.
+membership:
+	$(GO) test -race -count=1 -run 'TestMembership|TestMemberJournal|TestSubmitRetry' ./internal/coord/
+	$(GO) test -race -count=1 -run 'TestSubmitToken' ./internal/serve/
+	$(GO) test -race -count=1 ./cmd/bhpoctl/
 
 # Kernel + training-loop benchmarks, recorded as the perf baseline.
 # Writes BENCH_kernels.json (ns/op, B/op, allocs/op per benchmark).
@@ -84,7 +96,7 @@ bench-smoke:
 fallback:
 	BHPO_KERNEL=blocked $(GO) test -count=1 ./internal/mat/ ./internal/nn/ ./internal/hpo/
 
-check: vet race crash chaos sse failover fallback bench-smoke
+check: vet race crash chaos sse failover membership fallback bench-smoke
 
 fmt:
 	gofmt -l -w .

@@ -8,32 +8,48 @@
 // dataset/scale/seed/folds fingerprint), so jobs that share synthesized
 // data and cached fold scores land on the same node and stay warm. Job
 // IDs come back node-qualified ("a:job-3") and every per-job route is
-// resolved from the ID, independent of the ring.
+// resolved from the ID, independent of the ring. A submission whose
+// routed node dies before acking retries transparently on the ring
+// successor under a coordinator-minted idempotency token.
 //
 // The coordinator heartbeats each node's /healthz (EWMA-smoothed RTT,
 // consecutive-failure thresholds) and distinguishes degraded from dead:
-// a degraded node stops receiving new jobs but keeps its existing ones;
-// a dead node's hash range is served by its ring successors, and its
-// per-job routes answer 503 (retryable) until an operator restores the
-// node's shipped replica elsewhere (bhpod -restore-from) and re-points
-// the name with `bhpoctl replace` — after which the same job IDs, the
-// same curves and the same SSE sequence numbers flow from the new
-// machine.
+// a degraded node stops receiving new jobs but keeps its existing ones.
+// With -auto-failover, a dead node heals itself: the coordinator
+// verifies the node's shipped replicas (-sink-root), restores one onto
+// a registered standby (-standby, or `bhpoctl standby`), and re-points
+// the ring identity — no operator in the loop. Membership (runtime
+// joins, leaves, standbys, automated replaces) persists in a crash-safe
+// journal under -data-dir, so a restarted coordinator recovers the
+// current ring, not the boot-time one.
 //
 // Usage:
 //
 //	bhpoctl [-addr :8150] -node a=http://h1:8149 -node b=http://h2:8149 ...
+//	        [-standby s1=http://h9:8149]... [-sink-root /mnt/ship]...
+//	        [-auto-failover] [-data-dir /var/lib/bhpoctl]
 //	        [-replicas 64] [-probe-interval 1s] [-probe-timeout 1s]
 //	        [-degraded-after 2] [-dead-after 6]
 //	bhpoctl status  [-addr http://localhost:8150]
-//	bhpoctl replace [-addr http://localhost:8150] -node a -url http://h3:8149
+//	bhpoctl join    [-addr ...] -node c -url http://h3:8149
+//	bhpoctl drain   [-addr ...] -node c
+//	bhpoctl leave   [-addr ...] -node c [-deadline 30s]
+//	bhpoctl standby [-addr ...] -node s1 -url http://h9:8149 [-remove]
+//	bhpoctl replace [-addr ...] -node a -url http://h3:8149
 //
 // Extra endpoints beyond the worker API:
 //
-//	GET  /cluster          per-node state (alive/degraded/dead, health,
-//	                       RTT, failure streak)
-//	POST /cluster/replace  {"node": "a", "url": "..."} — point a ring
-//	                       identity at a replacement machine
+//	GET  /cluster          per-node state (alive|degraded|dead|draining|
+//	                       standby|restoring), health, EWMA RTT, failure
+//	                       streak, last-probe time
+//	GET  /cluster/events   bounded incident log (joins, leaves, failovers,
+//	                       restore failures)
+//	POST /cluster/join     {"node","url"} — enter the ring live
+//	POST /cluster/leave    {"node","deadline_sec"} — drain, wait, remove
+//	POST /cluster/drain    {"node"} — stop routing new jobs
+//	POST /cluster/standby  {"node","url","remove"} — manage the spare pool
+//	POST /cluster/replace  {"node","url"} — point a ring identity at a
+//	                       replacement machine (the manual path)
 package main
 
 import (
@@ -75,16 +91,37 @@ func (n *nodeFlags) Set(v string) error {
 	return nil
 }
 
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	if v == "" {
+		return errors.New("empty value")
+	}
+	*s = append(*s, v)
+	return nil
+}
+
 func main() {
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
 		case "status":
-			os.Exit(statusMain(os.Args[2:]))
+			os.Exit(statusMain(os.Args[2:], os.Stdout))
 		case "replace":
-			os.Exit(replaceMain(os.Args[2:]))
+			os.Exit(memberMain("replace", os.Args[2:]))
+		case "join":
+			os.Exit(memberMain("join", os.Args[2:]))
+		case "drain":
+			os.Exit(memberMain("drain", os.Args[2:]))
+		case "leave":
+			os.Exit(memberMain("leave", os.Args[2:]))
+		case "standby":
+			os.Exit(memberMain("standby", os.Args[2:]))
 		}
 	}
-	var nodes nodeFlags
+	var nodes, standbys nodeFlags
+	var sinkRoots stringList
 	var (
 		addr      = flag.String("addr", ":8150", "listen address")
 		replicas  = flag.Int("replicas", 0, "virtual nodes per worker on the hash ring (0 = 64)")
@@ -92,8 +129,12 @@ func main() {
 		probeTmo  = flag.Duration("probe-timeout", 0, "per-probe timeout (0 = probe interval)")
 		degraded  = flag.Int("degraded-after", 2, "consecutive probe failures before a node is degraded (no new jobs)")
 		dead      = flag.Int("dead-after", 6, "consecutive probe failures before a node is dead (range served by successors)")
+		dataDir   = flag.String("data-dir", "", "directory for the crash-safe membership journal (empty = membership not persisted)")
+		autoFail  = flag.Bool("auto-failover", false, "restore dead nodes onto standbys automatically (needs -sink-root and a standby pool)")
 	)
 	flag.Var(&nodes, "node", "worker as name=url (repeatable)")
+	flag.Var(&standbys, "standby", "standby node as name=url (repeatable); spares for automated failover")
+	flag.Var(&sinkRoots, "sink-root", "shipped-replica root holding one subdirectory per node (repeatable)")
 	flag.Parse()
 	if len(nodes) == 0 {
 		fmt.Fprintln(os.Stderr, "bhpoctl: at least one -node name=url is required")
@@ -101,6 +142,7 @@ func main() {
 	}
 	cfg := coord.Config{
 		Nodes:    nodes,
+		Standbys: standbys,
 		Replicas: *replicas,
 		Probe: coord.ProbeOptions{
 			Interval:      *probeIntv,
@@ -108,6 +150,9 @@ func main() {
 			DegradedAfter: *degraded,
 			DeadAfter:     *dead,
 		},
+		DataDir:      *dataDir,
+		SinkRoots:    sinkRoots,
+		AutoFailover: *autoFail,
 	}
 	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bhpoctl:", err)
@@ -147,8 +192,11 @@ func run(addr string, cfg coord.Config) error {
 	return nil
 }
 
-// statusMain implements `bhpoctl status`: pretty-print GET /cluster.
-func statusMain(args []string) int {
+// statusMain implements `bhpoctl status`: render GET /cluster as a
+// table. Exit code 0 only when every ring member is alive — standbys
+// are spares and do not fail the check — so `bhpoctl status` doubles as
+// a health gate in scripts and CI.
+func statusMain(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	addr := fs.String("addr", "http://localhost:8150", "coordinator address")
 	fs.Parse(args)
@@ -163,15 +211,36 @@ func statusMain(args []string) int {
 		fmt.Fprintln(os.Stderr, "bhpoctl: decoding:", err)
 		return 1
 	}
+	return renderStatus(out, nodes)
+}
+
+// renderStatus prints the node table and computes the exit code —
+// factored out of statusMain so tests can feed it statuses directly.
+func renderStatus(out io.Writer, nodes []coord.NodeStatus) int {
+	fmt.Fprintf(out, "%-12s %-10s %-10s %8s %8s %10s  %s\n",
+		"NODE", "STATE", "HEALTH", "RTT", "PENDING", "PROBED", "URL")
+	exit := 0
 	for _, n := range nodes {
-		line := fmt.Sprintf("%-12s %-9s %-10s rtt=%.1fms pending=%d %s",
-			n.Name, n.State, orDash(n.Health), n.RTTMillis, n.Pending, n.URL)
-		if n.LastError != "" {
-			line += "  (" + n.LastError + ")"
+		probed := "-"
+		if !n.LastProbe.IsZero() {
+			probed = fmt.Sprintf("%.1fs ago", time.Since(n.LastProbe).Seconds())
 		}
-		fmt.Println(line)
+		name := n.Name
+		if n.Quarantined {
+			name += "!"
+		}
+		fmt.Fprintf(out, "%-12s %-10s %-10s %7.1fms %8d %10s  %s\n",
+			name, n.State, orDash(n.Health), n.RTTMillis, n.Pending, probed, n.URL)
+		if n.LastError != "" {
+			fmt.Fprintf(out, "%-12s   last error: %s\n", "", n.LastError)
+		}
+		// Any member not alive (dead, degraded, draining, restoring) makes
+		// the check fail; standbys are spares, not members.
+		if n.State != coord.StateAlive && n.State != coord.StateStandby {
+			exit = 1
+		}
 	}
-	return 0
+	return exit
 }
 
 func orDash(s string) string {
@@ -181,20 +250,43 @@ func orDash(s string) string {
 	return s
 }
 
-// replaceMain implements `bhpoctl replace`: POST /cluster/replace.
-func replaceMain(args []string) int {
-	fs := flag.NewFlagSet("replace", flag.ExitOnError)
+// memberMain implements the membership subcommands (join, leave, drain,
+// standby, replace): one POST to the matching /cluster/ endpoint.
+func memberMain(cmd string, args []string) int {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	addr := fs.String("addr", "http://localhost:8150", "coordinator address")
-	node := fs.String("node", "", "ring identity to re-point")
-	url := fs.String("url", "", "replacement node's URL")
+	node := fs.String("node", "", "node name")
+	url := fs.String("url", "", "node URL (join, standby, replace)")
+	deadline := fs.Duration("deadline", 30*time.Second, "leave: how long to wait for running jobs")
+	remove := fs.Bool("remove", false, "standby: deregister instead of register")
 	fs.Parse(args)
-	if *node == "" || *url == "" {
-		fmt.Fprintln(os.Stderr, "bhpoctl: replace needs -node and -url")
+	if *node == "" {
+		fmt.Fprintf(os.Stderr, "bhpoctl: %s needs -node\n", cmd)
 		return 2
 	}
-	body, _ := json.Marshal(map[string]string{"node": *node, "url": *url})
-	resp, err := http.Post(strings.TrimSuffix(*addr, "/")+"/cluster/replace",
-		"application/json", bytes.NewReader(body))
+	body := map[string]any{"node": *node}
+	switch cmd {
+	case "join", "replace":
+		if *url == "" {
+			fmt.Fprintf(os.Stderr, "bhpoctl: %s needs -url\n", cmd)
+			return 2
+		}
+		body["url"] = *url
+	case "standby":
+		if *remove {
+			body["remove"] = true
+		} else if *url == "" {
+			fmt.Fprintln(os.Stderr, "bhpoctl: standby needs -url (or -remove)")
+			return 2
+		} else {
+			body["url"] = *url
+		}
+	case "leave":
+		body["deadline_sec"] = deadline.Seconds()
+	}
+	payload, _ := json.Marshal(body)
+	resp, err := http.Post(strings.TrimSuffix(*addr, "/")+"/cluster/"+cmd,
+		"application/json", bytes.NewReader(payload))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bhpoctl:", err)
 		return 1

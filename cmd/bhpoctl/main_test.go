@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"enhancedbhpo/internal/coord"
+)
+
+// TestRenderStatusExitCode: `bhpoctl status` doubles as a health gate —
+// exit 0 only when every ring member is alive; spares never fail it.
+func TestRenderStatusExitCode(t *testing.T) {
+	now := time.Now()
+	cases := []struct {
+		name  string
+		nodes []coord.NodeStatus
+		want  int
+	}{
+		{"all alive", []coord.NodeStatus{
+			{Name: "a", State: coord.StateAlive, LastProbe: now},
+			{Name: "b", State: coord.StateAlive, LastProbe: now},
+		}, 0},
+		{"one degraded", []coord.NodeStatus{
+			{Name: "a", State: coord.StateAlive, LastProbe: now},
+			{Name: "b", State: coord.StateDegraded, LastProbe: now, LastError: "probe: timeout"},
+		}, 1},
+		{"one dead", []coord.NodeStatus{
+			{Name: "a", State: coord.StateDead},
+			{Name: "b", State: coord.StateAlive},
+		}, 1},
+		{"draining member", []coord.NodeStatus{
+			{Name: "a", State: coord.StateAlive},
+			{Name: "b", State: coord.StateDraining},
+		}, 1},
+		{"restoring member", []coord.NodeStatus{
+			{Name: "a", State: coord.StateRestoring},
+		}, 1},
+		{"standby spares never fail the gate", []coord.NodeStatus{
+			{Name: "a", State: coord.StateAlive},
+			{Name: "s0", State: coord.StateStandby, Quarantined: true},
+			{Name: "s1", State: coord.StateStandby},
+		}, 0},
+	}
+	for _, tc := range cases {
+		var out bytes.Buffer
+		if got := renderStatus(&out, tc.nodes); got != tc.want {
+			t.Errorf("%s: exit %d, want %d\n%s", tc.name, got, tc.want, out.String())
+		}
+		if !strings.Contains(out.String(), "NODE") || !strings.Contains(out.String(), "STATE") {
+			t.Errorf("%s: missing table header:\n%s", tc.name, out.String())
+		}
+	}
+
+	// Quarantined spares are flagged in the table.
+	var out bytes.Buffer
+	renderStatus(&out, []coord.NodeStatus{{Name: "s0", State: coord.StateStandby, Quarantined: true}})
+	if !strings.Contains(out.String(), "s0!") {
+		t.Errorf("quarantined standby not flagged:\n%s", out.String())
+	}
+}

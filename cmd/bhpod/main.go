@@ -28,13 +28,22 @@
 // watch <job-url>` is the terminal client for the feed.
 //
 // As a cluster member the daemon can ship its journal segments and trace
-// files to a replica sink while it runs (-ship-to, either a directory or
-// a peer node's /ship receiver), receive peers' replicas
-// (-ship-recv-dir), and start as a *replacement* for a dead node by
-// restoring a shipped replica into its data directory (-restore-from)
-// before replaying it — mid-run jobs come back as interrupted, trace
-// sequence numbers continue, and the coordinator (bhpoctl) re-points the
-// dead node's name at the new address.
+// files to replica sinks while it runs (-ship-to, repeatable: each a
+// directory or a peer node's /ship receiver, every sink tracking its own
+// resumable offsets), receive peers' replicas (-ship-recv-dir), and
+// start as a *replacement* for a dead node by restoring a shipped
+// replica into its data directory (-restore-from, repeatable: the first
+// replica whose manifest checksums verify wins) before replaying it —
+// mid-run jobs come back as interrupted, trace sequence numbers
+// continue, and the coordinator (bhpoctl) re-points the dead node's name
+// at the new address.
+//
+// With -standby the daemon instead boots as a blank spare: it answers
+// /healthz with {"status":"standby"} and waits for a coordinator's
+// POST /restore, at which point it restores the named dead node's
+// replica under -data-dir, becomes that node (same flags as a normal
+// worker, shipping included), and starts serving its jobs — the
+// automated half of bhpoctl's -auto-failover.
 //
 // Usage:
 //
@@ -44,8 +53,9 @@
 //	      [-eval-timeout 0] [-journal-max-bytes 4194304] [-scope-ttl 0]
 //	      [-event-buffer 256] [-trace-max-bytes 1048576]
 //	      [-kernel-workers 0] [-fuse-evals] [-pprof]
-//	      [-node NAME] [-ship-to DIR|URL] [-ship-interval 250ms]
-//	      [-ship-sync] [-ship-recv-dir DIR] [-restore-from DIR]
+//	      [-node NAME] [-ship-to DIR|URL]... [-ship-interval 250ms]
+//	      [-ship-sync] [-ship-recv-dir DIR] [-restore-from DIR]...
+//	      [-standby]
 //
 // Endpoints:
 //
@@ -64,6 +74,8 @@
 //	GET    /metrics            service counters
 //	POST   /ship/{node}/...    peer journal-shipping receiver (only with
 //	                           -ship-recv-dir)
+//	POST   /restore            standby promotion (only with -standby):
+//	                           restore a dead node's replica and become it
 //	GET    /debug/pprof/*      live profiling (only with -pprof)
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: new submissions are
@@ -86,6 +98,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -94,7 +107,20 @@ import (
 	"enhancedbhpo/internal/serve/shipper"
 )
 
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	if v == "" {
+		return errors.New("empty value")
+	}
+	*s = append(*s, v)
+	return nil
+}
+
 func main() {
+	var shipTo, restoreFrom stringList
 	var (
 		addr     = flag.String("addr", ":8149", "listen address")
 		workers  = flag.Int("workers", runtime.NumCPU(), "shared evaluation pool size across all jobs")
@@ -116,12 +142,13 @@ func main() {
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
 
 		nodeName = flag.String("node", "", "cluster node name (ring identity under a bhpoctl coordinator; required with -ship-to)")
-		shipTo   = flag.String("ship-to", "", "replicate the journal + traces to this sink: a directory, or a peer node's URL (its /ship receiver); needs -data-dir and -node")
 		shipIntv = flag.Duration("ship-interval", 250*time.Millisecond, "background ship pass interval")
-		shipSync = flag.Bool("ship-sync", false, "ship synchronously: every journal append reaches the sink before the write returns (a kill -9 loses no acknowledged job)")
+		shipSync = flag.Bool("ship-sync", false, "ship synchronously: every journal append reaches every sink before the write returns (a kill -9 loses no acknowledged job)")
 		shipRecv = flag.String("ship-recv-dir", "", "accept peers' shipped replicas under /ship/, stored in this directory")
-		restore  = flag.String("restore-from", "", "before starting, restore a shipped replica (a sink's node directory) into -data-dir — the replacement-node path")
+		standby  = flag.Bool("standby", false, "boot as a blank spare: wait for a coordinator's POST /restore, then become the restored node")
 	)
+	flag.Var(&shipTo, "ship-to", "replicate the journal + traces to this sink: a directory, or a peer node's URL (its /ship receiver); repeatable for N-way replication; needs -data-dir and -node")
+	flag.Var(&restoreFrom, "restore-from", "before starting, restore a shipped replica (a sink's node directory) into -data-dir; repeatable — the first replica whose manifest verifies wins")
 	flag.Parse()
 	cfg := serve.Config{
 		PoolSize:          *workers,
@@ -142,13 +169,19 @@ func main() {
 		NodeName:          *nodeName,
 	}
 	cluster := clusterFlags{
-		ShipTo:       *shipTo,
+		ShipTo:       shipTo,
 		ShipInterval: *shipIntv,
 		ShipSync:     *shipSync,
 		ShipRecvDir:  *shipRecv,
-		RestoreFrom:  *restore,
+		RestoreFrom:  restoreFrom,
 	}
-	if err := run(*addr, cfg, cluster, *drainTmo, *pprofOn); err != nil {
+	var err error
+	if *standby {
+		err = runStandby(*addr, cfg, cluster, *drainTmo)
+	} else {
+		err = run(*addr, cfg, cluster, *drainTmo, *pprofOn)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bhpod:", err)
 		os.Exit(1)
 	}
@@ -156,16 +189,18 @@ func main() {
 
 // clusterFlags carries the journal-shipping and failover options.
 type clusterFlags struct {
-	ShipTo       string
+	ShipTo       []string
 	ShipInterval time.Duration
 	ShipSync     bool
 	ShipRecvDir  string
-	RestoreFrom  string
+	RestoreFrom  []string
 }
 
-// newShipper builds the sink named by -ship-to: an http(s) URL pushes to
+// newShipper builds one lane per -ship-to sink: an http(s) URL pushes to
 // a peer's /ship receiver; anything else is a local directory, with the
-// node name appended so several nodes can share one sink root.
+// node name appended so several nodes can share one sink root. Each sink
+// keeps its own resumable offsets, so one lagging or down sink never
+// holds the others back.
 func newShipper(dataDir, node string, fl clusterFlags) (*shipper.Shipper, error) {
 	if dataDir == "" {
 		return nil, errors.New("-ship-to needs -data-dir")
@@ -173,25 +208,27 @@ func newShipper(dataDir, node string, fl clusterFlags) (*shipper.Shipper, error)
 	if node == "" {
 		return nil, errors.New("-ship-to needs -node")
 	}
-	var sink shipper.Sink
-	if strings.HasPrefix(fl.ShipTo, "http://") || strings.HasPrefix(fl.ShipTo, "https://") {
-		base := strings.TrimSuffix(fl.ShipTo, "/")
-		if !strings.HasSuffix(base, "/ship") {
-			base += "/ship"
+	sinks := make([]shipper.Sink, 0, len(fl.ShipTo))
+	for _, dest := range fl.ShipTo {
+		if strings.HasPrefix(dest, "http://") || strings.HasPrefix(dest, "https://") {
+			base := strings.TrimSuffix(dest, "/")
+			if !strings.HasSuffix(base, "/ship") {
+				base += "/ship"
+			}
+			s, err := shipper.NewHTTPSink(base, node, nil)
+			if err != nil {
+				return nil, err
+			}
+			sinks = append(sinks, s)
+		} else {
+			s, err := shipper.NewDirSink(filepath.Join(dest, node))
+			if err != nil {
+				return nil, err
+			}
+			sinks = append(sinks, s)
 		}
-		s, err := shipper.NewHTTPSink(base, node, nil)
-		if err != nil {
-			return nil, err
-		}
-		sink = s
-	} else {
-		s, err := shipper.NewDirSink(filepath.Join(fl.ShipTo, node))
-		if err != nil {
-			return nil, err
-		}
-		sink = s
 	}
-	return shipper.New(dataDir, sink, shipper.Options{
+	return shipper.NewMulti(dataDir, sinks, shipper.Options{
 		Interval: fl.ShipInterval,
 		Sync:     fl.ShipSync,
 		OnError:  func(err error) { log.Printf("bhpod: ship: %v", err) },
@@ -199,17 +236,30 @@ func newShipper(dataDir, node string, fl clusterFlags) (*shipper.Shipper, error)
 }
 
 func run(addr string, cfg serve.Config, cluster clusterFlags, drainTimeout time.Duration, pprofOn bool) error {
-	if cluster.RestoreFrom != "" {
+	if len(cluster.RestoreFrom) > 0 {
 		if cfg.DataDir == "" {
 			return errors.New("-restore-from needs -data-dir")
 		}
-		if err := shipper.Restore(cluster.RestoreFrom, cfg.DataDir); err != nil {
-			return fmt.Errorf("restoring replica: %w", err)
+		if len(cluster.RestoreFrom) == 1 {
+			// Single replica: restore in place (tolerates an existing,
+			// possibly pre-created, data dir) — the original replacement path.
+			if err := shipper.Restore(cluster.RestoreFrom[0], cfg.DataDir); err != nil {
+				return fmt.Errorf("restoring replica: %w", err)
+			}
+			log.Printf("bhpod: restored shipped replica %s into %s", cluster.RestoreFrom[0], cfg.DataDir)
+		} else {
+			// Several replicas: the first whose manifest checksums verify
+			// wins; a corrupt sink falls through to the next.
+			src, err := shipper.RestoreAny(cluster.RestoreFrom, cfg.DataDir)
+			if err != nil {
+				return fmt.Errorf("restoring replica: %w", err)
+			}
+			log.Printf("bhpod: restored shipped replica %s into %s (of %d candidates)",
+				src, cfg.DataDir, len(cluster.RestoreFrom))
 		}
-		log.Printf("bhpod: restored shipped replica %s into %s", cluster.RestoreFrom, cfg.DataDir)
 	}
 	var ship *shipper.Shipper
-	if cluster.ShipTo != "" {
+	if len(cluster.ShipTo) > 0 {
 		var err error
 		ship, err = newShipper(cfg.DataDir, cfg.NodeName, cluster)
 		if err != nil {
@@ -221,7 +271,7 @@ func run(addr string, cfg serve.Config, cluster clusterFlags, drainTimeout time.
 		if cluster.ShipSync {
 			mode = "sync"
 		}
-		log.Printf("bhpod: shipping journal + traces to %s (%s)", cluster.ShipTo, mode)
+		log.Printf("bhpod: shipping journal + traces to %s (%s)", strings.Join(cluster.ShipTo, ", "), mode)
 	}
 	var manager *serve.Manager
 	var err error
@@ -302,6 +352,99 @@ func run(addr string, cfg serve.Config, cluster clusterFlags, drainTimeout time.
 	}
 	if err := manager.Shutdown(ctx); err != nil {
 		return fmt.Errorf("waiting for jobs: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// runStandby boots the daemon as a blank spare. It serves only /healthz
+// ({"status":"standby"}) until a coordinator POSTs /restore naming a
+// dead node and its verified replica directories; then it restores the
+// replica under -data-dir/<node>, builds a full worker over the restored
+// journal (shipping to the same -ship-to sinks, so the promoted node's
+// history stays replicated), and atomically swaps it in — from that
+// point it IS the node, same endpoints, same drain behavior.
+func runStandby(addr string, cfg serve.Config, cluster clusterFlags, drainTimeout time.Duration) error {
+	if cfg.DataDir == "" {
+		return errors.New("-standby needs -data-dir")
+	}
+	// Set only after a successful promotion; read at shutdown to drain
+	// whatever the standby became.
+	var (
+		mu      sync.Mutex
+		manager *serve.Manager
+		handler *serve.Server
+		ship    *shipper.Shipper
+	)
+	sb := serve.NewStandby(serve.StandbyOptions{
+		DataDir: cfg.DataDir,
+		Activate: func(node, dataDir string) (http.Handler, error) {
+			nodeCfg := cfg
+			nodeCfg.DataDir = dataDir
+			nodeCfg.NodeName = node
+			var sh *shipper.Shipper
+			if len(cluster.ShipTo) > 0 {
+				var err error
+				sh, err = newShipper(dataDir, node, cluster)
+				if err != nil {
+					return nil, err
+				}
+				nodeCfg.Shipper = sh
+			}
+			m, err := serve.NewManagerFromJournal(nodeCfg)
+			if err != nil {
+				if sh != nil {
+					sh.Close()
+				}
+				return nil, fmt.Errorf("recovering restored journal: %w", err)
+			}
+			h := serve.NewServer(m)
+			mu.Lock()
+			manager, handler, ship = m, h, sh
+			mu.Unlock()
+			log.Printf("bhpod: standby promoted to node %s (%d jobs recovered)", node, len(m.Jobs()))
+			return h, nil
+		},
+	})
+	srv := &http.Server{Addr: addr, Handler: sb}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("bhpod standing by on %s (data dir %s)", addr, cfg.DataDir)
+		errc <- srv.ListenAndServe()
+	}()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("bhpod: %v, shutting down standby (node %q)", sig, sb.Active())
+	}
+	mu.Lock()
+	m, h, sh := manager, handler, ship
+	mu.Unlock()
+	if h != nil {
+		h.SetDraining(true)
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancelDrain()
+		if err := m.Drain(drainCtx); err != nil {
+			log.Printf("bhpod: drain timeout, cancelling remaining jobs")
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if m != nil {
+		if err := m.Shutdown(ctx); err != nil {
+			return fmt.Errorf("waiting for jobs: %w", err)
+		}
+	}
+	if sh != nil {
+		sh.Close()
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -2,6 +2,8 @@ package coord
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -23,10 +25,15 @@ type Node struct {
 
 // Config tunes the Coordinator.
 type Config struct {
-	// Nodes is the initial worker set. Names are ring identities: a
-	// replacement node keeps the dead node's name (POST /cluster/replace)
-	// so its hash range and its node-qualified job IDs stay routable.
+	// Nodes is the boot-time worker set. Names are ring identities: a
+	// replacement node keeps the dead node's name (automated failover or
+	// POST /cluster/replace) so its hash range and its node-qualified job
+	// IDs stay routable. With DataDir set, the membership journal replays
+	// on top of this set, so runtime joins/leaves survive a restart.
 	Nodes []Node
+	// Standbys is the boot-time spare pool: nodes registered for
+	// automated failover, outside the ring until promoted.
+	Standbys []Node
 	// Replicas is the ring's virtual-node count per node. 0 selects 64.
 	Replicas int
 	// Probe tunes the heartbeat prober.
@@ -35,6 +42,40 @@ type Config struct {
 	// overall timeout (SSE streams are long-lived; probes carry their own
 	// per-request timeouts).
 	Client *http.Client
+	// DataDir, when non-empty, persists membership operations to a
+	// crash-safe journal (members.jsonl) so a restarted coordinator
+	// recovers the current ring — runtime joins, leaves, standby
+	// registrations and automated replaces — not the boot-time one.
+	DataDir string
+	// SinkRoots are the shipped-replica roots the failover pipeline
+	// verifies and restores from: each holds one subdirectory per node
+	// name (a DirSink root or a ship receiver's -ship-recv-dir).
+	SinkRoots []string
+	// AutoFailover turns on the zero-operator pipeline: a node declared
+	// dead triggers verify → restore onto a standby → re-point, with no
+	// manual replace call.
+	AutoFailover bool
+	// RestoreBackoff is the initial delay between failed restore rounds
+	// (all standbys exhausted, or no verified replica yet); it doubles up
+	// to RestoreMaxBackoff. 0 selects 500ms / 15s.
+	RestoreBackoff    time.Duration
+	RestoreMaxBackoff time.Duration
+	// DrainPoll paces the leave handler's wait for a draining node's
+	// running jobs. 0 selects 250ms.
+	DrainPoll time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.RestoreBackoff <= 0 {
+		c.RestoreBackoff = 500 * time.Millisecond
+	}
+	if c.RestoreMaxBackoff <= 0 {
+		c.RestoreMaxBackoff = 15 * time.Second
+	}
+	if c.DrainPoll <= 0 {
+		c.DrainPoll = 250 * time.Millisecond
+	}
+	return c
 }
 
 // Coordinator routes the bhpod HTTP API across a cluster of workers.
@@ -46,50 +87,87 @@ type Config struct {
 // reads independent of the ring (a job stays addressable even after the
 // scope's ownership would hash elsewhere).
 type Coordinator struct {
+	cfg    Config
 	ring   *Ring
 	prober *prober
 	client *http.Client
 	mux    *http.ServeMux
 
 	started time.Time
+	stopCh  chan struct{} // closed by Shutdown; ends failover retry loops
 
-	jobsRouted     atomic.Int64
-	jobsFailedOver atomic.Int64
+	jobsRouted       atomic.Int64
+	jobsFailedOver   atomic.Int64
+	submitRetries    atomic.Int64
+	autoRestores     atomic.Int64
+	restoresFailed   atomic.Int64
+	restoreDurMicros atomic.Int64 // cumulative restore pipeline time
+
+	journal *memberLog // nil without Config.DataDir
 
 	mu    sync.Mutex
-	nodes map[string]string // name → URL
+	nodes map[string]string // ring members: name → URL
+
+	failMu    sync.Mutex
+	restoring map[string]bool // failover pipelines in flight, by node
+
+	evMu   sync.Mutex
+	events []ClusterEvent // bounded cluster incident log
 }
 
-// New wires a coordinator around the node set. Call Start to begin
-// heartbeat probing and Shutdown to stop it.
+// New wires a coordinator around the node set, replaying the membership
+// journal in cfg.DataDir (when set) on top of the boot-time nodes. Call
+// Start to begin heartbeat probing and Shutdown to stop it.
 func New(cfg Config) (*Coordinator, error) {
-	if len(cfg.Nodes) == 0 {
-		return nil, fmt.Errorf("coord: no nodes")
-	}
+	cfg = cfg.withDefaults()
 	c := &Coordinator{
-		ring:    NewRing(cfg.Replicas),
-		client:  cfg.Client,
-		mux:     http.NewServeMux(),
-		started: time.Now(),
-		nodes:   map[string]string{},
+		cfg:       cfg,
+		ring:      NewRing(cfg.Replicas),
+		client:    cfg.Client,
+		mux:       http.NewServeMux(),
+		started:   time.Now(),
+		stopCh:    make(chan struct{}),
+		nodes:     map[string]string{},
+		restoring: map[string]bool{},
 	}
 	if c.client == nil {
 		c.client = &http.Client{}
 	}
 	c.prober = newProber(cfg.Probe, c.client)
+	c.prober.onDead = c.onNodeDead
 	for _, n := range cfg.Nodes {
-		if n.Name == "" || strings.ContainsAny(n.Name, ":/ ") {
-			return nil, fmt.Errorf("coord: bad node name %q (used in job IDs; no colons, slashes or spaces)", n.Name)
-		}
-		if n.URL == "" {
-			return nil, fmt.Errorf("coord: node %s: empty URL", n.Name)
+		if err := validNode(n); err != nil {
+			return nil, err
 		}
 		if _, dup := c.nodes[n.Name]; dup {
 			return nil, fmt.Errorf("coord: duplicate node %q", n.Name)
 		}
-		c.nodes[n.Name] = strings.TrimSuffix(n.URL, "/")
-		c.ring.Add(n.Name)
-		c.prober.track(n.Name, strings.TrimSuffix(n.URL, "/"))
+		c.applyMemberOp(MemberOp{Op: OpJoin, Node: n.Name, URL: strings.TrimSuffix(n.URL, "/")})
+	}
+	for _, n := range cfg.Standbys {
+		if err := validNode(n); err != nil {
+			return nil, err
+		}
+		c.applyMemberOp(MemberOp{Op: OpStandby, Node: n.Name, URL: strings.TrimSuffix(n.URL, "/"), On: true})
+	}
+	if cfg.DataDir != "" {
+		// The journal replays on top of the boot-time set: runtime
+		// membership changes win over stale flags.
+		ops, err := replayMemberLog(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		for _, op := range ops {
+			c.applyMemberOp(op)
+		}
+		log, err := openMemberLog(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = log
+	}
+	if len(c.nodes) == 0 {
+		return nil, fmt.Errorf("coord: no nodes")
 	}
 	c.mux.HandleFunc("POST /jobs", c.submitJob)
 	c.mux.HandleFunc("GET /jobs", c.listJobs)
@@ -101,15 +179,79 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /healthz", c.healthz)
 	c.mux.HandleFunc("GET /metrics", c.metrics)
 	c.mux.HandleFunc("GET /cluster", c.cluster)
+	c.mux.HandleFunc("GET /cluster/events", c.clusterEvents)
 	c.mux.HandleFunc("POST /cluster/replace", c.replaceNode)
+	c.mux.HandleFunc("POST /cluster/join", c.joinNode)
+	c.mux.HandleFunc("POST /cluster/leave", c.leaveNode)
+	c.mux.HandleFunc("POST /cluster/drain", c.drainNode)
+	c.mux.HandleFunc("POST /cluster/standby", c.standbyNode)
 	return c, nil
+}
+
+// validNode checks a node's name (a ring identity, embedded in job IDs)
+// and URL.
+func validNode(n Node) error {
+	if n.Name == "" || strings.ContainsAny(n.Name, ":/ ") {
+		return fmt.Errorf("coord: bad node name %q (used in job IDs; no colons, slashes or spaces)", n.Name)
+	}
+	if n.URL == "" {
+		return fmt.Errorf("coord: node %s: empty URL", n.Name)
+	}
+	return nil
+}
+
+// applyMemberOp folds one membership operation into the live state —
+// the single mutation point shared by boot config, journal replay and
+// the runtime handlers (which journal first, then apply).
+func (c *Coordinator) applyMemberOp(op MemberOp) {
+	url := strings.TrimSuffix(op.URL, "/")
+	switch op.Op {
+	case OpJoin:
+		c.mu.Lock()
+		c.nodes[op.Node] = url
+		c.mu.Unlock()
+		c.ring.Add(op.Node)
+		c.prober.track(op.Node, url)
+	case OpLeave:
+		c.mu.Lock()
+		delete(c.nodes, op.Node)
+		c.mu.Unlock()
+		c.ring.Remove(op.Node)
+		c.prober.untrack(op.Node)
+	case OpDrain:
+		c.prober.setDraining(op.Node, op.On)
+	case OpStandby:
+		if op.On {
+			c.prober.trackStandby(op.Node, url)
+		} else {
+			c.prober.untrack(op.Node)
+		}
+	case OpQuarantine:
+		c.prober.setQuarantined(op.Node, op.On)
+	}
+}
+
+// journalAndApply persists the operation (when a journal is configured)
+// and applies it. The journal write comes first: an acknowledged
+// membership change must survive a coordinator crash.
+func (c *Coordinator) journalAndApply(op MemberOp) error {
+	if err := c.journal.append(op); err != nil {
+		return err
+	}
+	c.applyMemberOp(op)
+	return nil
 }
 
 // Start launches heartbeat probing.
 func (c *Coordinator) Start() { c.prober.start() }
 
-// Shutdown stops the prober.
-func (c *Coordinator) Shutdown() { c.prober.shutdown() }
+// Shutdown stops the prober, any in-flight failover retry loops, and
+// the membership journal.
+func (c *Coordinator) Shutdown() {
+	close(c.stopCh)
+	c.prober.shutdown()
+	c.journal.close()
+}
 
 // ProbeNow runs one synchronous probe round — the test hook (and the
 // replace handler's immediate confirmation) so callers need not wait an
@@ -156,14 +298,19 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 // routeNode picks the worker for a new job with the given cache scope:
-// the ring owner when servable, else the first servable successor. New
-// work skips degraded nodes (they may be seconds from dead, and a fresh
-// scope is cheap to build elsewhere); a degraded candidate is still
-// preferred over refusing when nothing is fully alive.
-func (c *Coordinator) routeNode(scope string) (string, bool) {
+// the ring owner when servable, else the first servable successor,
+// excluding nodes in skip (already tried this request). New work skips
+// degraded nodes (they may be seconds from dead, and a fresh scope is
+// cheap to build elsewhere) and draining ones (they are leaving the
+// ring); a degraded candidate is still preferred over refusing when
+// nothing is fully alive.
+func (c *Coordinator) routeNode(scope string, skip map[string]bool) (string, bool) {
 	candidates := c.ring.Candidates(scope)
 	var degraded string
 	for _, n := range candidates {
+		if skip[n] {
+			continue
+		}
 		switch c.prober.stateOf(n) {
 		case StateAlive:
 			return n, true
@@ -179,12 +326,31 @@ func (c *Coordinator) routeNode(scope string) (string, bool) {
 	return "", false
 }
 
+// newSubmitToken mints the idempotency key one client submission carries
+// across every routing attempt.
+func newSubmitToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// The process RNG failing is unrecoverable for token minting;
+		// submitting without idempotency risks double-running jobs.
+		panic(fmt.Sprintf("coord: reading random bytes: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // submitJob routes POST /jobs: the spec's evaluation-cache scope picks
 // the worker, the body is forwarded verbatim, and the worker's response
 // flows back with only the job ID rewritten to its node-qualified form.
 // A worker 429 passes through untouched — status, its *priced*
 // Retry-After header and body — so clients back off on the owning node's
 // real backlog, not a number the coordinator made up.
+//
+// A node that dies between routing and ack does not fail the client:
+// the submission retries on the next ring candidate. Every attempt
+// carries the same coordinator-minted X-Submit-Token, so a replay — the
+// first node actually accepted the job but the ack was lost, and a later
+// restore resurrects it under the same token — never double-runs: the
+// worker's token table returns the existing job instead.
 func (c *Coordinator) submitJob(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
@@ -196,38 +362,63 @@ func (c *Coordinator) submitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
-	node, ok := c.routeNode(spec.CacheScope())
-	if !ok {
-		writeError(w, http.StatusServiceUnavailable, "no servable node for scope")
-		return
-	}
-	nodeURL, _ := c.urlOf(node)
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, nodeURL+"/jobs", bytes.NewReader(body))
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.client.Do(req)
-	if err != nil {
-		writeError(w, http.StatusBadGateway, "node %s: %v", node, err)
-		return
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusAccepted {
-		var snap serve.Snapshot
-		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-			writeError(w, http.StatusBadGateway, "node %s: decoding response: %v", node, err)
+	scope := spec.CacheScope()
+	token := newSubmitToken()
+	tried := map[string]bool{}
+	var lastErr error
+	var lastNode string
+	for {
+		node, ok := c.routeNode(scope, tried)
+		if !ok {
+			if lastErr != nil {
+				writeError(w, http.StatusBadGateway, "node %s: %v (no further candidates)", lastNode, lastErr)
+			} else {
+				writeError(w, http.StatusServiceUnavailable, "no servable node for scope")
+			}
 			return
 		}
-		snap.ID = qualifyID(node, snap.ID)
-		c.jobsRouted.Add(1)
-		writeJSON(w, http.StatusAccepted, snap)
+		nodeURL, _ := c.urlOf(node)
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, nodeURL+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Submit-Token", token)
+		resp, err := c.client.Do(req)
+		if err != nil {
+			// The node died (or vanished) between routing and ack: retry
+			// on the next ring candidate with the same token. Note the
+			// client context: if the *client* hung up, stop instead of
+			// spraying the ring.
+			if r.Context().Err() != nil {
+				writeError(w, http.StatusBadGateway, "node %s: %v", node, err)
+				return
+			}
+			tried[node] = true
+			lastErr, lastNode = err, node
+			c.submitRetries.Add(1)
+			continue
+		}
+		func() {
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				var snap serve.Snapshot
+				if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+					writeError(w, http.StatusBadGateway, "node %s: decoding response: %v", node, err)
+					return
+				}
+				snap.ID = qualifyID(node, snap.ID)
+				c.jobsRouted.Add(1)
+				writeJSON(w, http.StatusAccepted, snap)
+				return
+			}
+			// Anything else — 429 with its priced Retry-After, a validation
+			// 400, a draining 503 — passes through verbatim.
+			copyResponse(w, resp)
+		}()
 		return
 	}
-	// Anything else — 429 with its priced Retry-After, a validation 400,
-	// a draining 503 — passes through verbatim.
-	copyResponse(w, resp)
 }
 
 // copyResponse relays a worker response verbatim: status, headers, body.
@@ -257,8 +448,12 @@ func (c *Coordinator) resolveJob(w http.ResponseWriter, qualified string) (node,
 		writeError(w, http.StatusNotFound, "no node %q", node)
 		return "", "", "", false
 	}
-	if c.prober.stateOf(node) == StateDead {
+	switch c.prober.stateOf(node) {
+	case StateDead:
 		writeError(w, http.StatusServiceUnavailable, "node %s is dead; awaiting replacement", node)
+		return "", "", "", false
+	case StateRestoring:
+		writeError(w, http.StatusServiceUnavailable, "node %s is being restored; retry shortly", node)
 		return "", "", "", false
 	}
 	return node, id, nodeURL, true
@@ -475,16 +670,25 @@ type clusterHealth struct {
 }
 
 // aggregateStatus folds per-node verdicts into one cluster status.
+// Standbys are spares, not members: they contribute nothing to the
+// aggregate (a cluster of healthy workers plus an idle standby is "ok").
 func aggregateStatus(nodes []NodeStatus) (status string, alive int) {
 	var aliveOK, overloaded, draining, impaired int
 	for _, n := range nodes {
-		if n.State == StateDead {
+		switch n.State {
+		case StateStandby:
+			continue
+		case StateDead, StateRestoring:
 			impaired++
 			continue
 		}
 		alive++
-		if n.State == StateDegraded {
+		switch n.State {
+		case StateDegraded:
 			impaired++
+			continue
+		case StateDraining:
+			draining++
 			continue
 		}
 		switch n.Health {
@@ -518,10 +722,16 @@ func (c *Coordinator) healthz(w http.ResponseWriter, r *http.Request) {
 	nodes := c.prober.status()
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
 	status, alive := aggregateStatus(nodes)
+	members := 0
+	for _, n := range nodes {
+		if n.State != StateStandby {
+			members++
+		}
+	}
 	writeJSON(w, http.StatusOK, clusterHealth{
 		Status:     status,
 		NodesAlive: alive,
-		NodesTotal: len(nodes),
+		NodesTotal: members,
 		UptimeSec:  time.Since(c.started).Seconds(),
 		Nodes:      nodes,
 	})
@@ -530,21 +740,31 @@ func (c *Coordinator) healthz(w http.ResponseWriter, r *http.Request) {
 // ClusterMetrics is the aggregate GET /metrics payload: cluster counters
 // plus each live node's own metrics under its name.
 type ClusterMetrics struct {
-	NodesAlive      int     `json:"nodes_alive"`
-	NodesTotal      int     `json:"nodes_total"`
-	JobsRouted      int64   `json:"jobs_routed"`
-	JobsFailedOver  int64   `json:"jobs_failed_over"`
-	UptimeSec       float64 `json:"uptime_sec"`
-	JobsQueued      int     `json:"jobs_queued"`
-	JobsRunning     int     `json:"jobs_running"`
-	JobsDone        int     `json:"jobs_done"`
-	JobsFailed      int     `json:"jobs_failed"`
-	JobsCancelled   int     `json:"jobs_cancelled"`
-	PendingDepth    int     `json:"pending_depth"`
-	Evaluations     int64   `json:"evaluations"`
-	SegmentsShipped int64   `json:"segments_shipped"`
-	ShipRetries     int64   `json:"ship_retries"`
-	ShipBytes       int64   `json:"ship_bytes"`
+	NodesAlive     int   `json:"nodes_alive"`
+	NodesTotal     int   `json:"nodes_total"`
+	JobsRouted     int64 `json:"jobs_routed"`
+	JobsFailedOver int64 `json:"jobs_failed_over"`
+	// SubmitRetries counts submissions transparently retried on a ring
+	// successor after the routed node failed before acking.
+	SubmitRetries int64 `json:"submit_retries"`
+	// AutoRestores counts completed zero-operator failovers (dead node
+	// restored onto a standby); RestoresFailed counts standby promotion
+	// attempts that failed (the standby is quarantined and the next one
+	// tried); RestoreDurationSeconds accumulates dead→alive pipeline time.
+	AutoRestores           int64   `json:"auto_restores"`
+	RestoresFailed         int64   `json:"restores_failed"`
+	RestoreDurationSeconds float64 `json:"restore_duration_seconds"`
+	UptimeSec              float64 `json:"uptime_sec"`
+	JobsQueued             int     `json:"jobs_queued"`
+	JobsRunning            int     `json:"jobs_running"`
+	JobsDone               int     `json:"jobs_done"`
+	JobsFailed             int     `json:"jobs_failed"`
+	JobsCancelled          int     `json:"jobs_cancelled"`
+	PendingDepth           int     `json:"pending_depth"`
+	Evaluations            int64   `json:"evaluations"`
+	SegmentsShipped        int64   `json:"segments_shipped"`
+	ShipRetries            int64   `json:"ship_retries"`
+	ShipBytes              int64   `json:"ship_bytes"`
 
 	Nodes map[string]serve.Metrics `json:"nodes"`
 }
@@ -555,16 +775,23 @@ type ClusterMetrics struct {
 func (c *Coordinator) metrics(w http.ResponseWriter, r *http.Request) {
 	statuses := c.prober.status()
 	out := ClusterMetrics{
-		NodesTotal:     len(statuses),
-		JobsRouted:     c.jobsRouted.Load(),
-		JobsFailedOver: c.jobsFailedOver.Load(),
-		UptimeSec:      time.Since(c.started).Seconds(),
-		Nodes:          map[string]serve.Metrics{},
+		JobsRouted:             c.jobsRouted.Load(),
+		JobsFailedOver:         c.jobsFailedOver.Load(),
+		SubmitRetries:          c.submitRetries.Load(),
+		AutoRestores:           c.autoRestores.Load(),
+		RestoresFailed:         c.restoresFailed.Load(),
+		RestoreDurationSeconds: float64(c.restoreDurMicros.Load()) / 1e6,
+		UptimeSec:              time.Since(c.started).Seconds(),
+		Nodes:                  map[string]serve.Metrics{},
 	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, st := range statuses {
-		if st.State == StateDead {
+		if st.State == StateStandby {
+			continue
+		}
+		out.NodesTotal++
+		if st.State == StateDead || st.State == StateRestoring {
 			continue
 		}
 		out.NodesAlive++
@@ -638,29 +865,251 @@ func (c *Coordinator) replaceNode(w http.ResponseWriter, r *http.Request) {
 	newURL := strings.TrimSuffix(body.URL, "/")
 	c.mu.Lock()
 	_, known := c.nodes[body.Node]
-	if known {
-		c.nodes[body.Node] = newURL
-	}
 	c.mu.Unlock()
 	if !known {
 		writeError(w, http.StatusNotFound, "no node %q", body.Node)
 		return
 	}
-	c.prober.track(body.Node, newURL)
-	// Count the adopted jobs (best-effort: the replacement just replayed
-	// the shipped journal, so its job table is the dead node's).
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, newURL+"/jobs", nil)
-	if err == nil {
-		if resp, err := c.client.Do(req); err == nil {
-			var snaps []serve.Snapshot
-			if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&snaps) == nil {
-				c.jobsFailedOver.Add(int64(len(snaps)))
-			}
-			resp.Body.Close()
-		}
+	if err := c.journalAndApply(MemberOp{Op: OpJoin, Node: body.Node, URL: newURL}); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
 	}
+	c.countAdoptedJobs(body.Node, newURL)
+	c.recordEvent(ClusterEvent{Type: "replace", Node: body.Node, Detail: "re-pointed to " + newURL})
 	c.ProbeNow()
 	nodes := c.prober.status()
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
 	writeJSON(w, http.StatusOK, nodes)
+}
+
+// countAdoptedJobs folds a replacement node's job table into the
+// jobs_failed_over counter (best-effort: the replacement just replayed
+// the shipped journal, so its job table is the dead node's).
+func (c *Coordinator) countAdoptedJobs(node, nodeURL string) {
+	req, err := http.NewRequest(http.MethodGet, nodeURL+"/jobs", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var snaps []serve.Snapshot
+	if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&snaps) == nil {
+		c.jobsFailedOver.Add(int64(len(snaps)))
+	}
+}
+
+// memberBody is the request for the membership endpoints: join, leave,
+// drain, standby.
+type memberBody struct {
+	Node string `json:"node"`
+	URL  string `json:"url,omitempty"`
+	// Remove, on POST /cluster/standby, deregisters the standby.
+	Remove bool `json:"remove,omitempty"`
+	// DeadlineSec bounds POST /cluster/leave's wait for running jobs.
+	// 0 selects 30s.
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+}
+
+// decodeMember reads a membership request body.
+func decodeMember(w http.ResponseWriter, r *http.Request) (memberBody, bool) {
+	var body memberBody
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding: %v", err)
+		return body, false
+	}
+	if body.Node == "" {
+		writeError(w, http.StatusBadRequest, "empty node")
+		return body, false
+	}
+	return body, true
+}
+
+// writeStatusList responds with the sorted node table — the common
+// success payload of the membership endpoints.
+func (c *Coordinator) writeStatusList(w http.ResponseWriter) {
+	nodes := c.prober.status()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	writeJSON(w, http.StatusOK, nodes)
+}
+
+// joinNode handles POST /cluster/join: a worker enters the ring live.
+// Consistent hashing moves only ~1/(N+1) of scope ownership to the new
+// node; every existing job stays addressable by its node-qualified ID.
+// Joining an existing name at the same URL is idempotent; at a different
+// URL it is a conflict (that is what replace is for).
+func (c *Coordinator) joinNode(w http.ResponseWriter, r *http.Request) {
+	body, ok := decodeMember(w, r)
+	if !ok {
+		return
+	}
+	if err := validNode(Node{Name: body.Node, URL: body.URL}); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	newURL := strings.TrimSuffix(body.URL, "/")
+	c.mu.Lock()
+	existing, known := c.nodes[body.Node]
+	c.mu.Unlock()
+	if known && existing != newURL {
+		writeError(w, http.StatusConflict, "node %q already joined at %s (use /cluster/replace to re-point)", body.Node, existing)
+		return
+	}
+	if !known {
+		if err := c.journalAndApply(MemberOp{Op: OpJoin, Node: body.Node, URL: newURL}); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		c.recordEvent(ClusterEvent{Type: "join", Node: body.Node, Detail: newURL})
+	}
+	c.ProbeNow()
+	c.writeStatusList(w)
+}
+
+// drainNode handles POST /cluster/drain: stop routing new jobs to the
+// node while it keeps serving reads and finishing running work — the
+// first half of a graceful leave, usable on its own for maintenance.
+func (c *Coordinator) drainNode(w http.ResponseWriter, r *http.Request) {
+	body, ok := decodeMember(w, r)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	_, known := c.nodes[body.Node]
+	c.mu.Unlock()
+	if !known {
+		writeError(w, http.StatusNotFound, "no node %q", body.Node)
+		return
+	}
+	if err := c.journalAndApply(MemberOp{Op: OpDrain, Node: body.Node, On: true}); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	c.recordEvent(ClusterEvent{Type: "drain", Node: body.Node})
+	c.writeStatusList(w)
+}
+
+// nodeIdle reports whether the node has no running, queued or pending
+// jobs. An unreachable node reports idle=false with the error.
+func (c *Coordinator) nodeIdle(nodeURL string) (bool, error) {
+	req, err := http.NewRequest(http.MethodGet, nodeURL+"/metrics", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	var m serve.Metrics
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("metrics: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return false, err
+	}
+	return m.JobsRunning == 0 && m.JobsQueued == 0 && m.PendingDepth == 0, nil
+}
+
+// leaveNode handles POST /cluster/leave: drain the node (stop routing
+// new jobs), wait for its running and queued work to finish (or the
+// deadline), then remove it from the ring — its scope ownership remaps
+// to the survivors (~1/N of the ring). Reads for its node-qualified job
+// IDs stop resolving once it is gone, so a graceful leave should only
+// complete after its jobs are terminal, which the wait enforces; a node
+// that stops answering mid-wait is removed at the deadline anyway (the
+// operator asked it gone, and its shipped replica still exists).
+func (c *Coordinator) leaveNode(w http.ResponseWriter, r *http.Request) {
+	body, ok := decodeMember(w, r)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	nodeURL, known := c.nodes[body.Node]
+	c.mu.Unlock()
+	if !known {
+		writeError(w, http.StatusNotFound, "no node %q", body.Node)
+		return
+	}
+	if err := c.journalAndApply(MemberOp{Op: OpDrain, Node: body.Node, On: true}); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	deadline := 30 * time.Second
+	if body.DeadlineSec > 0 {
+		deadline = time.Duration(body.DeadlineSec * float64(time.Second))
+	}
+	timeout := time.After(deadline)
+	var errStreak int
+wait:
+	for {
+		idle, err := c.nodeIdle(nodeURL)
+		if idle {
+			break
+		}
+		if err != nil {
+			// A node that cannot answer cannot drain; after a few tries,
+			// stop waiting on it (it is likely already dead).
+			if errStreak++; errStreak >= 3 {
+				break
+			}
+		} else {
+			errStreak = 0
+		}
+		select {
+		case <-timeout:
+			break wait
+		case <-r.Context().Done():
+			writeError(w, http.StatusBadGateway, "leave interrupted: %v", r.Context().Err())
+			return
+		case <-c.stopCh:
+			writeError(w, http.StatusServiceUnavailable, "coordinator shutting down")
+			return
+		case <-time.After(c.cfg.DrainPoll):
+		}
+	}
+	if err := c.journalAndApply(MemberOp{Op: OpLeave, Node: body.Node}); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	c.recordEvent(ClusterEvent{Type: "leave", Node: body.Node})
+	c.writeStatusList(w)
+}
+
+// standbyNode handles POST /cluster/standby: register (or, with
+// remove=true, deregister) a spare for the automated failover pool.
+func (c *Coordinator) standbyNode(w http.ResponseWriter, r *http.Request) {
+	body, ok := decodeMember(w, r)
+	if !ok {
+		return
+	}
+	if body.Remove {
+		if err := c.journalAndApply(MemberOp{Op: OpStandby, Node: body.Node, On: false}); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		c.recordEvent(ClusterEvent{Type: "standby-removed", Node: body.Node})
+		c.writeStatusList(w)
+		return
+	}
+	if err := validNode(Node{Name: body.Node, URL: body.URL}); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c.mu.Lock()
+	_, isMember := c.nodes[body.Node]
+	c.mu.Unlock()
+	if isMember {
+		writeError(w, http.StatusConflict, "node %q is a ring member", body.Node)
+		return
+	}
+	if err := c.journalAndApply(MemberOp{Op: OpStandby, Node: body.Node, URL: strings.TrimSuffix(body.URL, "/"), On: true}); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	c.recordEvent(ClusterEvent{Type: "standby-added", Node: body.Node, Detail: body.URL})
+	c.ProbeNow()
+	c.writeStatusList(w)
 }

@@ -22,7 +22,8 @@ type stubWorker struct {
 
 	mu       sync.Mutex
 	submits  []serve.JobSpec
-	lastEvID string // Last-Event-ID seen on the most recent /events request
+	tokens   []string // X-Submit-Token seen on each /jobs submission
+	lastEvID string   // Last-Event-ID seen on the most recent /events request
 
 	health  atomic.Value // string: healthz status vocabulary
 	metrics serve.Metrics
@@ -49,6 +50,7 @@ func newStubWorker(t *testing.T, name string) *stubWorker {
 		}
 		w.mu.Lock()
 		w.submits = append(w.submits, spec)
+		w.tokens = append(w.tokens, r.Header.Get("X-Submit-Token"))
 		w.mu.Unlock()
 		id := fmt.Sprintf("job-%d", w.nextID.Add(1))
 		rw.WriteHeader(http.StatusAccepted)

@@ -59,13 +59,23 @@ type workerProc struct {
 func (wp *workerProc) release() { wp.unfroze.Do(func() { close(wp.gate) }) }
 
 func startWorkerProc(t *testing.T, shipRoot, name string) *workerProc {
+	return startWorkerProcMulti(t, []string{shipRoot}, name)
+}
+
+// startWorkerProcMulti starts a worker shipping synchronously to one
+// replica directory per sink root — the N-way replication layout.
+func startWorkerProcMulti(t *testing.T, shipRoots []string, name string) *workerProc {
 	t.Helper()
 	wp := &workerProc{name: name, dataDir: t.TempDir(), gate: make(chan struct{})}
-	sink, err := shipper.NewDirSink(filepath.Join(shipRoot, name))
-	if err != nil {
-		t.Fatal(err)
+	sinks := make([]shipper.Sink, 0, len(shipRoots))
+	for _, root := range shipRoots {
+		sink, err := shipper.NewDirSink(filepath.Join(root, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sinks = append(sinks, sink)
 	}
-	ship := shipper.New(wp.dataDir, sink, shipper.Options{Sync: true})
+	ship := shipper.NewMulti(wp.dataDir, sinks, shipper.Options{Sync: true})
 	m, err := serve.NewManagerFromJournal(serve.Config{
 		PoolSize: 2, MaxJobs: 8, DataDir: wp.dataDir, NodeName: name, Shipper: ship,
 		WrapEvaluator: func(id string, inner hpo.Evaluator) hpo.Evaluator {

@@ -1,0 +1,136 @@
+package coord
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// MembersFileName is the coordinator's membership journal inside its
+// data directory: one JSON line per membership operation, fsynced before
+// the operation is acknowledged, so a restarted coordinator rebuilds the
+// *current* ring — runtime joins, leaves, drains, standby registrations
+// and automated replaces included — not the boot-time one. Membership
+// changes are rare, so the file stays small and is never compacted;
+// replay tolerates a torn final line (crash mid-append) by stopping at
+// the last whole record.
+const MembersFileName = "members.jsonl"
+
+// Membership operations.
+const (
+	// OpJoin adds (or re-points, for a replace) a ring member.
+	OpJoin = "join"
+	// OpLeave removes a ring member after its drain completed.
+	OpLeave = "leave"
+	// OpDrain marks a member as draining (on=true) or cancels it.
+	OpDrain = "drain"
+	// OpStandby registers a spare (on=true) or removes it.
+	OpStandby = "standby"
+	// OpQuarantine flags a standby that failed a restore (on=true) so a
+	// restarted coordinator does not retry it first.
+	OpQuarantine = "quarantine"
+)
+
+// MemberOp is one membership journal line.
+type MemberOp struct {
+	Op   string    `json:"op"`
+	Node string    `json:"node"`
+	URL  string    `json:"url,omitempty"`
+	On   bool      `json:"on,omitempty"`
+	Time time.Time `json:"time"`
+}
+
+// memberLog appends membership operations durably. Safe for concurrent
+// use; every append is fsynced before it returns — a membership change
+// the coordinator acknowledged is never lost to a crash.
+type memberLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openMemberLog opens (creating if needed) dir's membership journal for
+// appending.
+func openMemberLog(dir string) (*memberLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("coord: members journal: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, MembersFileName), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("coord: members journal: %w", err)
+	}
+	return &memberLog{f: f}, nil
+}
+
+// append writes one operation and fsyncs it.
+func (l *memberLog) append(op MemberOp) error {
+	if l == nil {
+		return nil // membership persistence disabled (no data dir)
+	}
+	if op.Time.IsZero() {
+		op.Time = time.Now()
+	}
+	line, err := json.Marshal(op)
+	if err != nil {
+		return fmt.Errorf("coord: members journal: %w", err)
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("coord: members journal: closed")
+	}
+	if _, err := l.f.Write(line); err != nil {
+		return fmt.Errorf("coord: members journal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("coord: members journal: %w", err)
+	}
+	return nil
+}
+
+// close closes the journal. Idempotent.
+func (l *memberLog) close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	return f.Close()
+}
+
+// replayMemberLog reads dir's membership journal in append order. A
+// missing file is an empty history; a torn final line ends the replay at
+// the last whole record.
+func replayMemberLog(dir string) ([]MemberOp, error) {
+	f, err := os.Open(filepath.Join(dir, MembersFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("coord: members journal: %w", err)
+	}
+	defer f.Close()
+	var ops []MemberOp
+	dec := json.NewDecoder(f)
+	for {
+		var op MemberOp
+		if err := dec.Decode(&op); err != nil {
+			if errors.Is(err, io.EOF) {
+				return ops, nil
+			}
+			// Torn tail: crash mid-append; everything before it is whole.
+			return ops, nil
+		}
+		ops = append(ops, op)
+	}
+}

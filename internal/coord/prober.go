@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 )
@@ -26,6 +27,17 @@ const (
 	// range is served by its ring successors until a replacement (restored
 	// from shipped journal segments) takes over its identity.
 	StateDead NodeState = "dead"
+	// StateDraining: the node answers probes but is leaving the ring —
+	// no new jobs route to it while its running work finishes; reads
+	// still resolve.
+	StateDraining NodeState = "draining"
+	// StateStandby: a registered spare, not in the ring and owning no
+	// jobs, waiting to adopt a dead node's identity.
+	StateStandby NodeState = "standby"
+	// StateRestoring: the node is dead and an automated restore onto a
+	// standby is in flight; reads return a retryable 503 until the
+	// replacement takes over.
+	StateRestoring NodeState = "restoring"
 )
 
 // ProbeOptions tunes the heartbeat prober.
@@ -83,6 +95,13 @@ type NodeStatus struct {
 	LastError string `json:"last_error,omitempty"`
 	// Pending is the node's reported pending-queue depth.
 	Pending int `json:"pending"`
+	// LastProbe is when the prober last completed a probe of this node
+	// (success or failure); zero before the first one.
+	LastProbe time.Time `json:"last_probe"`
+	// Quarantined marks a standby that failed a restore attempt; the
+	// failover pipeline prefers clean standbys and only falls back to
+	// quarantined ones when nothing else is left.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // prober maintains per-node liveness by polling each worker's /healthz.
@@ -93,6 +112,11 @@ type prober struct {
 	opts   ProbeOptions
 	client *http.Client
 
+	// onDead, when set (before start), fires once per alive→dead
+	// transition of a ring member (standbys excluded) — the automated
+	// failover trigger. Called without the prober lock held.
+	onDead func(name string)
+
 	mu    sync.Mutex
 	nodes map[string]*probeEntry
 
@@ -101,13 +125,36 @@ type prober struct {
 }
 
 type probeEntry struct {
-	url     string
-	state   NodeState
-	health  string
-	rttMs   float64
-	fails   int
-	lastErr string
-	pending int
+	url       string
+	state     NodeState // base probe verdict: alive/degraded/dead
+	health    string
+	rttMs     float64
+	fails     int
+	lastErr   string
+	pending   int
+	lastProbe time.Time
+
+	// Overlays on the probe verdict, managed by the coordinator.
+	standby     bool // registered spare, not a ring member
+	draining    bool // leaving the ring; no new jobs
+	restoring   bool // dead with an automated restore in flight
+	quarantined bool // standby that failed a restore
+}
+
+// effectiveState folds the coordinator-managed overlays into the probe
+// verdict — what routing and GET /cluster see.
+func (e *probeEntry) effectiveState() NodeState {
+	switch {
+	case e.standby:
+		return StateStandby
+	case e.restoring && e.state == StateDead:
+		// Only a dead node shows restoring: if it resurrects mid-pipeline
+		// the probe verdict wins and the pipeline stands down.
+		return StateRestoring
+	case e.draining && e.state == StateAlive:
+		return StateDraining
+	}
+	return e.state
 }
 
 // newProber returns a prober tracking no nodes; start launches its loop.
@@ -124,12 +171,84 @@ func newProber(opts ProbeOptions, client *http.Client) *prober {
 	}
 }
 
-// track adds (or re-points) a node. Re-pointing resets the node to a
-// fresh alive state: a replacement deserves a clean failure streak.
+// track adds (or re-points) a ring member. Re-pointing resets the node
+// to a fresh alive state — a replacement deserves a clean failure streak
+// — and clears every overlay (a promoted standby becomes a plain member).
 func (p *prober) track(name, url string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.nodes[name] = &probeEntry{url: url, state: StateAlive}
+}
+
+// trackStandby registers a spare: probed for visibility, never routed to.
+func (p *prober) trackStandby(name, url string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nodes[name] = &probeEntry{url: url, state: StateAlive, standby: true}
+}
+
+// untrack forgets a node (leave, or a standby consumed by promotion
+// under a different name).
+func (p *prober) untrack(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.nodes, name)
+}
+
+// setDraining flags/unflags a member as leaving the ring.
+func (p *prober) setDraining(name string, on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.nodes[name]; ok {
+		e.draining = on
+	}
+}
+
+// setRestoring flags/unflags a dead member as under automated restore.
+func (p *prober) setRestoring(name string, on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.nodes[name]; ok {
+		e.restoring = on
+	}
+}
+
+// setQuarantined flags a standby that failed a restore.
+func (p *prober) setQuarantined(name string, on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.nodes[name]; ok {
+		e.quarantined = on
+	}
+}
+
+// standbyInfo is one registered spare as the failover pipeline sees it.
+type standbyInfo struct {
+	name        string
+	url         string
+	quarantined bool
+}
+
+// standbys lists registered spares, clean ones first, in name order
+// within each group — the promotion preference order.
+func (p *prober) standbys() []standbyInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var clean, dirty []standbyInfo
+	for name, e := range p.nodes {
+		if !e.standby {
+			continue
+		}
+		info := standbyInfo{name: name, url: e.url, quarantined: e.quarantined}
+		if e.quarantined {
+			dirty = append(dirty, info)
+		} else {
+			clean = append(clean, info)
+		}
+	}
+	sort.Slice(clean, func(i, j int) bool { return clean[i].name < clean[j].name })
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].name < dirty[j].name })
+	return append(clean, dirty...)
 }
 
 // urlOf returns the node's current URL ("" if untracked).
@@ -147,7 +266,7 @@ func (p *prober) stateOf(name string) NodeState {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if e, ok := p.nodes[name]; ok {
-		return e.state
+		return e.effectiveState()
 	}
 	return StateDead
 }
@@ -159,14 +278,16 @@ func (p *prober) status() []NodeStatus {
 	out := make([]NodeStatus, 0, len(p.nodes))
 	for name, e := range p.nodes {
 		out = append(out, NodeStatus{
-			Name:      name,
-			URL:       e.url,
-			State:     e.state,
-			Health:    e.health,
-			RTTMillis: e.rttMs,
-			Fails:     e.fails,
-			LastError: e.lastErr,
-			Pending:   e.pending,
+			Name:        name,
+			URL:         e.url,
+			State:       e.effectiveState(),
+			Health:      e.health,
+			RTTMillis:   e.rttMs,
+			Fails:       e.fails,
+			LastError:   e.lastErr,
+			Pending:     e.pending,
+			LastProbe:   e.lastProbe,
+			Quarantined: e.quarantined,
 		})
 	}
 	return out
@@ -247,32 +368,40 @@ func (p *prober) probeOne(name, url string) {
 	rtt := time.Since(start)
 
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	e, ok := p.nodes[name]
 	if !ok || e.url != url {
 		// Replaced mid-probe: the verdict belongs to the old URL.
+		p.mu.Unlock()
 		return
 	}
+	e.lastProbe = time.Now()
+	var died bool
 	if err != nil {
 		e.fails++
 		e.lastErr = err.Error()
 		switch {
 		case e.fails >= p.opts.DeadAfter:
+			died = e.state != StateDead && !e.standby
 			e.state = StateDead
 		case e.fails >= p.opts.DegradedAfter:
 			e.state = StateDegraded
 		}
-		return
-	}
-	e.fails = 0
-	e.lastErr = ""
-	e.state = StateAlive
-	e.health = body.Status
-	e.pending = body.Pending
-	ms := float64(rtt) / float64(time.Millisecond)
-	if e.rttMs == 0 {
-		e.rttMs = ms
 	} else {
-		e.rttMs = (1-p.opts.Alpha)*e.rttMs + p.opts.Alpha*ms
+		e.fails = 0
+		e.lastErr = ""
+		e.state = StateAlive
+		e.health = body.Status
+		e.pending = body.Pending
+		ms := float64(rtt) / float64(time.Millisecond)
+		if e.rttMs == 0 {
+			e.rttMs = ms
+		} else {
+			e.rttMs = (1-p.opts.Alpha)*e.rttMs + p.opts.Alpha*ms
+		}
+	}
+	onDead := p.onDead
+	p.mu.Unlock()
+	if died && onDead != nil {
+		onDead(name)
 	}
 }

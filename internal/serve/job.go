@@ -218,6 +218,12 @@ type Job struct {
 
 	cancel func()
 
+	// token is the coordinator-issued submit token (idempotency key) this
+	// job was accepted under, "" for direct submissions. Immutable after
+	// registration; journaled with the submit record so a replayed journal
+	// still deduplicates a re-sent submission.
+	token string
+
 	mu        sync.Mutex
 	status    Status
 	reason    Reason

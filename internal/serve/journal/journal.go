@@ -74,6 +74,7 @@ type Record struct {
 	Type        string          `json:"t"`
 	Time        time.Time       `json:"time"`
 	JobID       string          `json:"job"`
+	Token       string          `json:"token,omitempty"`
 	Spec        json.RawMessage `json:"spec,omitempty"`
 	Status      string          `json:"status,omitempty"`
 	Reason      string          `json:"reason,omitempty"`
@@ -415,6 +416,7 @@ func DirStats(dir string) Stats {
 // process died mid-run; anything else is the journaled terminal state.
 type JobState struct {
 	ID          string
+	Token       string
 	Spec        json.RawMessage
 	Status      string
 	Reason      string
@@ -460,6 +462,9 @@ func (r *replayState) apply(rec Record) {
 	case TypeSubmit:
 		st.Spec = rec.Spec
 		st.SubmittedAt = rec.Time
+		if rec.Token != "" {
+			st.Token = rec.Token
+		}
 	case TypeStatus:
 		st.Status = rec.Status
 		if rec.Status == "running" {
@@ -622,7 +627,7 @@ func writeBase(dir string, seq int, states []JobState) error {
 	enc := json.NewEncoder(f)
 	write := func(rec Record) error { return enc.Encode(rec) }
 	for _, st := range states {
-		if err := write(Record{Type: TypeSubmit, Time: st.SubmittedAt, JobID: st.ID, Spec: st.Spec}); err != nil {
+		if err := write(Record{Type: TypeSubmit, Time: st.SubmittedAt, JobID: st.ID, Token: st.Token, Spec: st.Spec}); err != nil {
 			f.Close()
 			return fmt.Errorf("journal: compacting: %w", err)
 		}

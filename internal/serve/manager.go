@@ -234,6 +234,7 @@ type Manager struct {
 	pending int // jobs accepted but not yet holding a job slot
 	jobs    map[string]*Job
 	order   []string
+	tokens  map[string]string // submit token → job ID (idempotent retries)
 	scopes  map[string]*scopeEntry
 }
 
@@ -251,6 +252,7 @@ func NewManager(cfg Config) *Manager {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
+		tokens:     map[string]string{},
 		scopes:     map[string]*scopeEntry{},
 	}
 	m.hub = events.NewHub(events.Options{
@@ -352,6 +354,7 @@ func NewManagerFromJournal(cfg Config) (*Manager, error) {
 		job := &Job{
 			ID:        st.ID,
 			Spec:      spec,
+			token:     st.Token,
 			cancel:    func() {},
 			submitted: st.SubmittedAt,
 		}
@@ -470,6 +473,9 @@ func (m *Manager) register(job *Job) {
 	}
 	m.jobs[job.ID] = job
 	m.order = append(m.order, job.ID)
+	if job.token != "" {
+		m.tokens[job.token] = job.ID
+	}
 }
 
 // launch builds the job's context (with the spec timeout, restarted from
@@ -496,17 +502,37 @@ func (m *Manager) launch(job *Job) {
 // starts the job in the background. A full pending queue sheds the
 // submission with ErrOverloaded instead of accepting unbounded work.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	return m.SubmitToken(spec, "")
+}
+
+// SubmitToken is Submit with an idempotency key: a coordinator retrying
+// a submission it is not sure was accepted (the node died between
+// routing and ack, or the retry landed on a restored replacement that
+// replayed the original) sends the same token, and a token the manager
+// has already accepted returns the existing job instead of running the
+// work twice. Tokens persist in the journal's submit records, so the
+// guarantee survives restart and restore. An empty token is an ordinary
+// submission.
+func (m *Manager) SubmitToken(spec JobSpec, token string) (*Job, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	job := &Job{
 		Spec:      spec,
+		token:     token,
 		cancel:    func() {},
 		status:    StatusQueued,
 		submitted: time.Now(),
 	}
 	m.mu.Lock()
+	if token != "" {
+		if id, ok := m.tokens[token]; ok {
+			dup := m.jobs[id]
+			m.mu.Unlock()
+			return dup, nil
+		}
+	}
 	if m.pending >= m.cfg.MaxPending {
 		pending := m.pending
 		m.mu.Unlock()
@@ -518,6 +544,9 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	job.ID = fmt.Sprintf("job-%d", m.seq)
 	m.jobs[job.ID] = job
 	m.order = append(m.order, job.ID)
+	if token != "" {
+		m.tokens[token] = job.ID
+	}
 	m.mu.Unlock()
 	m.journalSubmit(job)
 	m.launch(job)
@@ -688,6 +717,7 @@ func (m *Manager) journalSubmit(job *Job) {
 			Type:  journal.TypeSubmit,
 			Time:  job.submitted,
 			JobID: job.ID,
+			Token: job.token,
 			Spec:  spec,
 		})
 	}

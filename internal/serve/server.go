@@ -126,7 +126,10 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
-	job, err := s.manager.Submit(spec)
+	// X-Submit-Token is the coordinator's idempotency key: a retried
+	// submission (the first attempt's ack was lost) with the same token
+	// returns the already-accepted job instead of running the work twice.
+	job, err := s.manager.SubmitToken(spec, r.Header.Get("X-Submit-Token"))
 	if errors.Is(err, ErrOverloaded) {
 		// Shed load instead of queueing unboundedly. Retry-After is
 		// priced from the observed evaluation latency EWMA and the queue

@@ -73,6 +73,84 @@ func Restore(srcDir, destDir string) error {
 	return nil
 }
 
+// VerifyReplica checks a shipped replica without touching it: the sink
+// directory must exist, and every manifest-listed file still present must
+// hash to its manifest checksum (a listed-but-missing file was superseded
+// by a later base fold, same as in Restore). Unlike Restore it is
+// read-only — nothing is quarantined — so the coordinator can probe
+// candidate replicas before committing a restore. A corrupt file fails
+// with an error matching ErrChecksumMismatch.
+func VerifyReplica(dir string) error {
+	if st, err := os.Stat(dir); err != nil {
+		return fmt.Errorf("shipper: verify %s: %w", dir, err)
+	} else if !st.IsDir() {
+		return fmt.Errorf("shipper: verify %s: not a directory", dir)
+	}
+	manifest, err := ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	// A replica that never sealed anything has no manifest to vouch for
+	// it. Refusing it here keeps RestoreAny from preferring an empty sink
+	// directory (say, one whose shipping never caught up) over a complete
+	// replica later in the preference list.
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err != nil {
+		return fmt.Errorf("shipper: verify %s: no manifest: %w", dir, err)
+	}
+	for name, entry := range manifest {
+		sum, size, err := hashPath(filepath.Join(dir, filepath.FromSlash(name)))
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("shipper: verify %s: %w", name, err)
+		}
+		if size != entry.Size || sum != entry.SHA256 {
+			return fmt.Errorf("shipper: verify %s: %w", name, ErrChecksumMismatch)
+		}
+	}
+	return nil
+}
+
+// RestoreAny restores the first replica in srcDirs that verifies and
+// restores cleanly, returning the directory it used. Each attempt runs
+// into a scratch directory that replaces destDir only on success, so a
+// replica failing mid-restore (checksum mismatch discovered on copy)
+// can never leave a half-restored data directory behind — the next
+// replica starts clean. destDir must not already exist (an existing data
+// directory is someone's journal; refusing beats silently replacing it).
+func RestoreAny(srcDirs []string, destDir string) (string, error) {
+	if len(srcDirs) == 0 {
+		return "", errors.New("shipper: restore: no replicas given")
+	}
+	if _, err := os.Stat(destDir); err == nil {
+		return "", fmt.Errorf("shipper: restore: %s already exists", destDir)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return "", fmt.Errorf("shipper: restore: %w", err)
+	}
+	scratch := destDir + ".restoring"
+	var errs []error
+	for _, src := range srcDirs {
+		if err := VerifyReplica(src); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if err := os.RemoveAll(scratch); err != nil {
+			return "", fmt.Errorf("shipper: restore: %w", err)
+		}
+		if err := Restore(src, scratch); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if err := os.Rename(scratch, destDir); err != nil {
+			return "", fmt.Errorf("shipper: restore: %w", err)
+		}
+		return src, nil
+	}
+	os.RemoveAll(scratch)
+	return "", fmt.Errorf("shipper: restore: no usable replica: %w", errors.Join(errs...))
+}
+
 // copyFile copies src to dest (creating parent directories), fsyncing the
 // result so a restored journal is durable before the replacement opens it.
 func copyFile(src, dest string) error {

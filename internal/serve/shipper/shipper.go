@@ -1,7 +1,8 @@
 // Package shipper replicates a bhpod data directory — journal segments,
-// compacted bases and per-job trace files — to a sink, so a *replacement*
-// node (not just a restarted process) can rebuild a dead machine's job
-// table with journal.Replay and serve its traces byte-identically.
+// compacted bases and per-job trace files — to one or more sinks, so a
+// *replacement* node (not just a restarted process) can rebuild a dead
+// machine's job table with journal.Replay and serve its traces
+// byte-identically.
 //
 // The unit of shipping is one file, addressed by its path relative to the
 // data directory ("journal-000003.jsonl", "traces/job-7.trace.jsonl").
@@ -17,12 +18,22 @@
 //     size and SHA-256, which records it in the sink's checksummed
 //     manifest. Sealed content is what Restore verifies.
 //
-// Shipping is asynchronous by default (a background loop drains the dirty
-// set on an interval, retrying failures with capped backoff); with
-// Options.Sync each hook ships inline before returning, so an
-// acknowledged job submission is already at the sink when the HTTP 202
-// goes out — the synchronous-replication mode the failover harness runs,
-// where a kill -9 must lose zero accepted jobs.
+// With several sinks (bhpod -ship-to repeated) the shipper replicates
+// N-way: every sink runs its own *lane* — an independent resumable
+// offset per file, its own dirty set, its own retry loop with capped
+// backoff — so one sink being down never stalls the others, and the
+// lagging sink catches up from its own offsets when it returns. Restore
+// picks the first replica whose manifest verifies, falling back across
+// sinks on checksum mismatch (RestoreAny).
+//
+// Shipping is asynchronous by default (each lane's background loop
+// drains its dirty set on an interval, retrying failures with capped
+// backoff); with Options.Sync each hook ships inline to every sink
+// before returning, so an acknowledged job submission is already at the
+// sinks when the HTTP 202 goes out — the synchronous-replication mode
+// the failover harness runs, where a kill -9 must lose zero accepted
+// jobs. A sync-mode sink failure degrades that sink to async retry
+// rather than failing the write path.
 package shipper
 
 import (
@@ -71,33 +82,36 @@ type Sink interface {
 
 // Options tunes a Shipper.
 type Options struct {
-	// Interval paces the background ship loop. 0 selects 250ms.
+	// Interval paces each lane's background ship loop. 0 selects 250ms.
 	Interval time.Duration
-	// MaxBackoff caps the retry backoff after consecutive ship failures.
-	// 0 selects 5s.
+	// MaxBackoff caps a lane's retry backoff after consecutive ship
+	// failures. 0 selects 5s.
 	MaxBackoff time.Duration
 	// Sync ships inline from each Changed/Sealed hook before it returns
-	// (synchronous replication); failures fall back to the background
-	// retry loop, so durability degrades to async rather than failing the
-	// write path.
+	// (synchronous replication) to every sink; a sink that fails falls
+	// back to its lane's background retry loop, so durability degrades to
+	// async on that sink rather than failing the write path.
 	Sync bool
 	// OnError receives background ship errors (best-effort; the dirty
-	// file stays queued and is retried).
+	// file stays queued in its lane and is retried).
 	OnError func(error)
 }
 
-// Stats is the shipper's counter snapshot, feeding the node's /metrics.
+// Stats is a shipping counter snapshot, feeding the node's /metrics.
+// For a multi-sink shipper the top-level Stats sums every lane; PerSink
+// carries the per-sink breakdown.
 type Stats struct {
 	// SegmentsShipped counts successfully sealed files (journal segments,
-	// bases and terminal traces).
+	// bases and terminal traces). With N sinks one local seal counts N
+	// times — it is a count of sink-seal operations, not of local files.
 	SegmentsShipped int64
 	// Retries counts ship attempts that failed and were requeued.
 	Retries int64
-	// Bytes counts payload bytes appended to the sink.
+	// Bytes counts payload bytes appended to sinks.
 	Bytes int64
 }
 
-// fileState tracks one file's shipping progress.
+// fileState tracks one file's shipping progress on one lane.
 type fileState struct {
 	mu     sync.Mutex
 	offset int64 // bytes known to be at the sink; -1 = unknown, query
@@ -105,8 +119,10 @@ type fileState struct {
 	done   bool  // sealed at the sink; nothing more to do unless it changes
 }
 
-// Shipper watches a data directory and pushes its files to a sink.
-type Shipper struct {
+// lane is one sink's independent replication state: its own per-file
+// offsets, dirty set and retry loop. Lanes never share failure state —
+// sink A being down is invisible to sink B.
+type lane struct {
 	root string
 	sink Sink
 	opts Options
@@ -125,94 +141,92 @@ type Shipper struct {
 	wg   sync.WaitGroup
 }
 
-// New returns a shipper replicating root into sink and starts its
+// Shipper watches a data directory and pushes its files to every sink,
+// one independent lane per sink.
+type Shipper struct {
+	root  string
+	opts  Options
+	lanes []*lane
+}
+
+// New returns a shipper replicating root into one sink and starts its
 // background loop. Close it to flush and stop.
 func New(root string, sink Sink, opts Options) *Shipper {
+	return NewMulti(root, []Sink{sink}, opts)
+}
+
+// NewMulti returns a shipper replicating root into every sink — N-way
+// replication with one independent lane (offsets, dirty set, retry
+// backoff) per sink — and starts the lanes' background loops.
+func NewMulti(root string, sinks []Sink, opts Options) *Shipper {
 	if opts.Interval <= 0 {
 		opts.Interval = 250 * time.Millisecond
 	}
 	if opts.MaxBackoff <= 0 {
 		opts.MaxBackoff = 5 * time.Second
 	}
-	s := &Shipper{
-		root:  root,
-		sink:  sink,
-		opts:  opts,
-		files: map[string]*fileState{},
-		dirty: map[string]struct{}{},
-		kick:  make(chan struct{}, 1),
-		stop:  make(chan struct{}),
+	s := &Shipper{root: root, opts: opts}
+	for _, sink := range sinks {
+		ln := &lane{
+			root:  root,
+			sink:  sink,
+			opts:  opts,
+			files: map[string]*fileState{},
+			dirty: map[string]struct{}{},
+			kick:  make(chan struct{}, 1),
+			stop:  make(chan struct{}),
+		}
+		ln.wg.Add(1)
+		go ln.loop()
+		s.lanes = append(s.lanes, ln)
 	}
-	s.wg.Add(1)
-	go s.loop()
 	return s
 }
 
-// Stats snapshots the ship counters.
+// Sinks reports the replication factor.
+func (s *Shipper) Sinks() int { return len(s.lanes) }
+
+// Stats snapshots the ship counters summed across every lane.
 func (s *Shipper) Stats() Stats {
-	return Stats{
-		SegmentsShipped: s.segmentsShipped.Load(),
-		Retries:         s.retries.Load(),
-		Bytes:           s.bytes.Load(),
+	var out Stats
+	for _, ln := range s.lanes {
+		out.SegmentsShipped += ln.segmentsShipped.Load()
+		out.Retries += ln.retries.Load()
+		out.Bytes += ln.bytes.Load()
 	}
+	return out
 }
 
-// state returns (creating if needed) the file's tracking state.
-func (s *Shipper) state(rel string) *fileState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.files[rel]
-	if !ok {
-		st = &fileState{offset: -1}
-		s.files[rel] = st
+// PerSink snapshots each lane's counters in sink order.
+func (s *Shipper) PerSink() []Stats {
+	out := make([]Stats, len(s.lanes))
+	for i, ln := range s.lanes {
+		out[i] = Stats{
+			SegmentsShipped: ln.segmentsShipped.Load(),
+			Retries:         ln.retries.Load(),
+			Bytes:           ln.bytes.Load(),
+		}
 	}
-	return st
-}
-
-// markDirty queues the file for the background loop.
-func (s *Shipper) markDirty(rel string) {
-	s.mu.Lock()
-	if !s.closed {
-		s.dirty[rel] = struct{}{}
-	}
-	s.mu.Unlock()
-	select {
-	case s.kick <- struct{}{}:
-	default:
-	}
+	return out
 }
 
 // Changed notes that rel (relative to the data dir, slash-separated) grew
-// or was rewritten. With Options.Sync the delta ships before Changed
-// returns; otherwise the background loop picks it up.
+// or was rewritten. With Options.Sync the delta ships to every sink
+// before Changed returns; a failing sink degrades to its lane's
+// background retry.
 func (s *Shipper) Changed(rel string) {
-	st := s.state(rel)
-	st.mu.Lock()
-	st.done = false
-	st.mu.Unlock()
-	if s.opts.Sync {
-		if err := s.shipFile(rel); err == nil {
-			return
-		}
+	for _, ln := range s.lanes {
+		ln.changed(rel)
 	}
-	s.markDirty(rel)
 }
 
 // Sealed notes that rel reached its final content (a rotated journal
 // segment, a freshly folded base, a terminal trace): the remaining tail
-// ships and the file is sealed into the sink's checksummed manifest.
+// ships and the file is sealed into each sink's checksummed manifest.
 func (s *Shipper) Sealed(rel string) {
-	st := s.state(rel)
-	st.mu.Lock()
-	st.sealed = true
-	st.done = false
-	st.mu.Unlock()
-	if s.opts.Sync {
-		if err := s.shipFile(rel); err == nil {
-			return
-		}
+	for _, ln := range s.lanes {
+		ln.sealed(rel)
 	}
-	s.markDirty(rel)
 }
 
 // SnapshotRoot marks every journal and trace file currently in the data
@@ -252,17 +266,96 @@ func (s *Shipper) SnapshotRoot(activeSegment string) {
 	}
 }
 
+// Flush ships everything queued right now on every lane, returning the
+// first error. Used by tests and Close; the background loops keep
+// retrying failures.
+func (s *Shipper) Flush() error {
+	var first error
+	for _, ln := range s.lanes {
+		if err := ln.flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close stops every lane's background loop after a final best-effort
+// flush. Idempotent.
+func (s *Shipper) Close() error {
+	var first error
+	for _, ln := range s.lanes {
+		if err := ln.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// state returns (creating if needed) the lane's tracking state for rel.
+func (ln *lane) state(rel string) *fileState {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	st, ok := ln.files[rel]
+	if !ok {
+		st = &fileState{offset: -1}
+		ln.files[rel] = st
+	}
+	return st
+}
+
+// markDirty queues the file for the lane's background loop.
+func (ln *lane) markDirty(rel string) {
+	ln.mu.Lock()
+	if !ln.closed {
+		ln.dirty[rel] = struct{}{}
+	}
+	ln.mu.Unlock()
+	select {
+	case ln.kick <- struct{}{}:
+	default:
+	}
+}
+
+// changed implements Shipper.Changed for one lane.
+func (ln *lane) changed(rel string) {
+	st := ln.state(rel)
+	st.mu.Lock()
+	st.done = false
+	st.mu.Unlock()
+	if ln.opts.Sync {
+		if err := ln.shipFile(rel); err == nil {
+			return
+		}
+	}
+	ln.markDirty(rel)
+}
+
+// sealed implements Shipper.Sealed for one lane.
+func (ln *lane) sealed(rel string) {
+	st := ln.state(rel)
+	st.mu.Lock()
+	st.sealed = true
+	st.done = false
+	st.mu.Unlock()
+	if ln.opts.Sync {
+		if err := ln.shipFile(rel); err == nil {
+			return
+		}
+	}
+	ln.markDirty(rel)
+}
+
 // shipFile pushes one file's outstanding bytes (and owed seal) to the
-// sink. Per-file serialization via the file state lock; safe to call
-// concurrently with hooks for the same file.
-func (s *Shipper) shipFile(rel string) error {
-	st := s.state(rel)
+// lane's sink. Per-file serialization via the file state lock; safe to
+// call concurrently with hooks for the same file.
+func (ln *lane) shipFile(rel string) error {
+	st := ln.state(rel)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.done {
 		return nil
 	}
-	path := filepath.Join(s.root, filepath.FromSlash(rel))
+	path := filepath.Join(ln.root, filepath.FromSlash(rel))
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		// Folded away (the journal deletes segments once a newer base
@@ -281,7 +374,7 @@ func (s *Shipper) shipFile(rel string) error {
 	}
 	size := info.Size()
 	if st.offset < 0 {
-		off, err := s.sink.Offset(rel)
+		off, err := ln.sink.Offset(rel)
 		if err != nil {
 			return fmt.Errorf("shipper: %s: offset: %w", rel, err)
 		}
@@ -294,18 +387,18 @@ func (s *Shipper) shipFile(rel string) error {
 	if size == 0 && st.sealed && st.offset == 0 {
 		// An empty sealed file (a base folded from zero jobs) never gets
 		// an append, but it still has to exist at the sink to seal.
-		if err := s.sink.Append(rel, 0, nil); err != nil {
+		if err := ln.sink.Append(rel, 0, nil); err != nil {
 			return fmt.Errorf("shipper: %s: %w", rel, err)
 		}
 	}
 	if size > st.offset {
-		if err := s.shipRange(f, rel, st, size); err != nil {
+		if err := ln.shipRange(f, rel, st, size); err != nil {
 			if !errors.Is(err, ErrOffsetMismatch) {
 				return err
 			}
 			// The sink's idea of the offset moved (sink restarted, another
 			// writer generation): re-query once and reship.
-			off, oerr := s.sink.Offset(rel)
+			off, oerr := ln.sink.Offset(rel)
 			if oerr != nil {
 				return fmt.Errorf("shipper: %s: offset: %w", rel, oerr)
 			}
@@ -313,7 +406,7 @@ func (s *Shipper) shipFile(rel string) error {
 			if off > size {
 				st.offset = 0
 			}
-			if err := s.shipRange(f, rel, st, size); err != nil {
+			if err := ln.shipRange(f, rel, st, size); err != nil {
 				return err
 			}
 		}
@@ -328,14 +421,14 @@ func (s *Shipper) shipFile(rel string) error {
 			// files); ship the rest next round.
 			return fmt.Errorf("shipper: %s: grew while sealing", rel)
 		}
-		if err := s.sink.Seal(rel, size, sum); err != nil {
+		if err := ln.sink.Seal(rel, size, sum); err != nil {
 			// Whatever the sink holds is not what we think it holds (short
 			// part, quarantined content): forget the cached offset so the
 			// retry re-queries and reships from the sink's truth.
 			st.offset = -1
 			return fmt.Errorf("shipper: sealing %s: %w", rel, err)
 		}
-		s.segmentsShipped.Add(1)
+		ln.segmentsShipped.Add(1)
 		st.done = true
 	}
 	return nil
@@ -344,17 +437,17 @@ func (s *Shipper) shipFile(rel string) error {
 // shipRange appends f's bytes in [st.offset, size) to the sink. An
 // offset-zero append truncates at the sink, so a restarted file ships its
 // whole current content in one shot.
-func (s *Shipper) shipRange(f *os.File, rel string, st *fileState, size int64) error {
+func (ln *lane) shipRange(f *os.File, rel string, st *fileState, size int64) error {
 	off := st.offset
 	data := make([]byte, size-off)
 	if _, err := f.ReadAt(data, off); err != nil && !errors.Is(err, io.EOF) {
 		return fmt.Errorf("shipper: reading %s: %w", rel, err)
 	}
-	if err := s.sink.Append(rel, off, data); err != nil {
+	if err := ln.sink.Append(rel, off, data); err != nil {
 		return err
 	}
 	st.offset = size
-	s.bytes.Add(int64(len(data)))
+	ln.bytes.Add(int64(len(data)))
 	return nil
 }
 
@@ -371,27 +464,27 @@ func hashFile(f *os.File) (string, int64, error) {
 	return hex.EncodeToString(h.Sum(nil)), n, nil
 }
 
-// loop drains the dirty set on the interval, with capped backoff while
-// the sink is failing.
-func (s *Shipper) loop() {
-	defer s.wg.Done()
-	backoff := s.opts.Interval
-	timer := time.NewTimer(s.opts.Interval)
+// loop drains the lane's dirty set on the interval, with capped backoff
+// while its sink is failing.
+func (ln *lane) loop() {
+	defer ln.wg.Done()
+	backoff := ln.opts.Interval
+	timer := time.NewTimer(ln.opts.Interval)
 	defer timer.Stop()
 	for {
 		select {
-		case <-s.stop:
+		case <-ln.stop:
 			return
-		case <-s.kick:
+		case <-ln.kick:
 		case <-timer.C:
 		}
-		if s.drainDirty() {
-			backoff = s.opts.Interval
+		if ln.drainDirty() {
+			backoff = ln.opts.Interval
 		} else {
-			s.retries.Add(1)
+			ln.retries.Add(1)
 			backoff *= 2
-			if backoff > s.opts.MaxBackoff {
-				backoff = s.opts.MaxBackoff
+			if backoff > ln.opts.MaxBackoff {
+				backoff = ln.opts.MaxBackoff
 			}
 		}
 		if !timer.Stop() {
@@ -406,67 +499,65 @@ func (s *Shipper) loop() {
 
 // drainDirty ships every queued file once, reporting whether the pass was
 // clean. Failed files stay queued.
-func (s *Shipper) drainDirty() bool {
-	s.mu.Lock()
-	rels := make([]string, 0, len(s.dirty))
-	for rel := range s.dirty {
+func (ln *lane) drainDirty() bool {
+	ln.mu.Lock()
+	rels := make([]string, 0, len(ln.dirty))
+	for rel := range ln.dirty {
 		rels = append(rels, rel)
 	}
-	s.mu.Unlock()
+	ln.mu.Unlock()
 	sort.Strings(rels) // deterministic order: segments before traces
 	clean := true
 	for _, rel := range rels {
-		if err := s.shipFile(rel); err != nil {
+		if err := ln.shipFile(rel); err != nil {
 			clean = false
-			if s.opts.OnError != nil {
-				s.opts.OnError(err)
+			if ln.opts.OnError != nil {
+				ln.opts.OnError(err)
 			}
 			continue
 		}
-		s.mu.Lock()
-		delete(s.dirty, rel)
-		s.mu.Unlock()
+		ln.mu.Lock()
+		delete(ln.dirty, rel)
+		ln.mu.Unlock()
 	}
 	return clean
 }
 
-// Flush ships everything queued right now, returning the first error.
-// Used by tests and Close; the background loop keeps retrying failures.
-func (s *Shipper) Flush() error {
-	s.mu.Lock()
-	rels := make([]string, 0, len(s.dirty))
-	for rel := range s.dirty {
+// flush ships everything queued right now, returning the first error.
+func (ln *lane) flush() error {
+	ln.mu.Lock()
+	rels := make([]string, 0, len(ln.dirty))
+	for rel := range ln.dirty {
 		rels = append(rels, rel)
 	}
-	s.mu.Unlock()
+	ln.mu.Unlock()
 	sort.Strings(rels)
 	var first error
 	for _, rel := range rels {
-		if err := s.shipFile(rel); err != nil {
+		if err := ln.shipFile(rel); err != nil {
 			if first == nil {
 				first = err
 			}
 			continue
 		}
-		s.mu.Lock()
-		delete(s.dirty, rel)
-		s.mu.Unlock()
+		ln.mu.Lock()
+		delete(ln.dirty, rel)
+		ln.mu.Unlock()
 	}
 	return first
 }
 
-// Close stops the background loop after a final best-effort flush.
-// Idempotent.
-func (s *Shipper) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+// close stops the lane's loop after a final best-effort flush. Idempotent.
+func (ln *lane) close() error {
+	ln.mu.Lock()
+	if ln.closed {
+		ln.mu.Unlock()
 		return nil
 	}
-	s.closed = true
-	s.mu.Unlock()
-	err := s.Flush()
-	close(s.stop)
-	s.wg.Wait()
+	ln.closed = true
+	ln.mu.Unlock()
+	err := ln.flush()
+	close(ln.stop)
+	ln.wg.Wait()
 	return err
 }

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"sync"
+
+	"enhancedbhpo/internal/serve/shipper"
+)
+
+// StandbyOptions configures a Standby handler.
+type StandbyOptions struct {
+	// DataDir is the standby's scratch root: a restore for node N
+	// materializes its replica under DataDir/N, so one standby can be
+	// retried for a different node after a failed activation without
+	// colliding with the earlier attempt's directory.
+	DataDir string
+	// Activate builds the real node handler once a replica has been
+	// restored into dataDir — cmd/bhpod wires it to NewManagerFromJournal
+	// + NewServer with the adopted node name. Returning an error leaves
+	// the standby inactive (the coordinator quarantines it and tries the
+	// next standby).
+	Activate func(node, dataDir string) (http.Handler, error)
+}
+
+// Standby is the handler a spare bhpod process serves while it waits to
+// be promoted. Inactive, it answers GET /healthz with status "standby"
+// (so the coordinator can track the pool) and refuses everything else
+// with 503 — it owns no jobs yet. POST /restore, the coordinator's
+// promotion call, restores the first verifying replica of a dead node
+// into the standby's data dir, activates the real server over it, and
+// atomically swaps it in: from the next request on, the standby *is*
+// the dead node, serving its jobs, curves and SSE sequences.
+type Standby struct {
+	opts StandbyOptions
+
+	mu     sync.RWMutex
+	active http.Handler
+	node   string
+}
+
+// NewStandby returns an inactive standby handler.
+func NewStandby(opts StandbyOptions) *Standby {
+	return &Standby{opts: opts}
+}
+
+// Active returns the node name this standby was promoted to, or "".
+func (s *Standby) Active() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.node
+}
+
+// restoreRequest is the coordinator's POST /restore payload: the dead
+// node's identity and its candidate replica directories in preference
+// order (the coordinator lists every verified sink replica; the standby
+// re-verifies and uses the first that restores cleanly).
+type restoreRequest struct {
+	Node    string   `json:"node"`
+	Sources []string `json:"sources"`
+}
+
+// restoreResponse reports a successful promotion: which replica was used.
+type restoreResponse struct {
+	Node   string `json:"node"`
+	Source string `json:"source"`
+}
+
+// ServeHTTP implements http.Handler: the promoted server once active,
+// the standby protocol before.
+func (s *Standby) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	active := s.active
+	s.mu.RUnlock()
+	if active != nil {
+		active.ServeHTTP(w, r)
+		return
+	}
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/healthz":
+		writeJSON(w, http.StatusOK, healthBody{Status: "standby"})
+	case r.Method == http.MethodPost && r.URL.Path == "/restore":
+		s.restore(w, r)
+	default:
+		writeError(w, http.StatusServiceUnavailable, "standby: not active")
+	}
+}
+
+// restore handles the promotion call. Serialized: a second restore
+// racing the first gets a conflict instead of a double activation.
+func (s *Standby) restore(w http.ResponseWriter, r *http.Request) {
+	var req restoreRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding restore request: %v", err)
+		return
+	}
+	if req.Node == "" || len(req.Sources) == 0 {
+		writeError(w, http.StatusBadRequest, "restore needs node and sources")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active != nil {
+		writeError(w, http.StatusConflict, "standby: already active as %s", s.node)
+		return
+	}
+	dataDir := filepath.Join(s.opts.DataDir, req.Node)
+	used, err := shipper.RestoreAny(req.Sources, dataDir)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "restore: %v", err)
+		return
+	}
+	h, err := s.opts.Activate(req.Node, dataDir)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "activating %s: %v", req.Node, err)
+		return
+	}
+	s.active = h
+	s.node = req.Node
+	writeJSON(w, http.StatusOK, restoreResponse{Node: req.Node, Source: used})
+}
