@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check crash chaos sse failover membership fallback bench bench-smoke bench-multicore fmt serve clean
+.PHONY: all build test race vet check crash chaos sse failover membership fallback bench bench-smoke bench-multicore bench-service load fmt serve clean
 
 # The kernel/Fit/fused-eval benchmark family captured in
 # BENCH_kernels.json.
@@ -90,13 +90,33 @@ bench-multicore:
 bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . >/dev/null
 
+# Multi-tenant scheduler gate: a short closed-loop bhpoload run under
+# the race detector — 48 tenants at weights 3:1 saturating a 4-slot
+# pool through the real HTTP stack — asserting the weighted fairness
+# ratio stays under 1.6 (1.0 is perfect; an unweighted scheduler scores
+# ~3). Part of check, plus the scheduler/tenant unit suites.
+load:
+	$(GO) test -race -count=1 ./internal/serve/sched/
+	$(GO) test -race -count=1 -run 'TestTenant|TestFairness|TestPreempt|TestBatch|TestSchedulerDeterminism' ./internal/serve/
+	$(GO) run -race ./cmd/bhpoload -selfhost -tenants 24 -classes 3,1 -duration 5s \
+		-pool 4 -max-jobs 6 -max-pending 64 -eval-ms 25 -assert-fairness 1.6 >/dev/null
+
+# Closed-loop service benchmark, recorded as the scheduler baseline:
+# 1000 simulated tenants against a self-hosted daemon with admission
+# pressure (MaxPending 192 over a 1000-tenant offered load), recording
+# p50/p99 submit-to-first-curve-point latency, shed rate, per-class
+# throughput and the weighted fairness ratio. Writes BENCH_service.json.
+bench-service:
+	$(GO) run ./cmd/bhpoload -selfhost -tenants 1000 -classes 3,1 -duration 8s \
+		-pool 8 -max-jobs 32 -max-pending 192 -eval-ms 5 -poll 25ms -out BENCH_service.json
+
 # Forced-fallback run: the portable blocked kernels stay tested end to
 # end on SIMD hardware (BHPO_KERNEL overrides the auto-selected family),
 # so a regression in the non-SIMD path cannot hide behind AVX2 CI boxes.
 fallback:
 	BHPO_KERNEL=blocked $(GO) test -count=1 ./internal/mat/ ./internal/nn/ ./internal/hpo/
 
-check: vet race crash chaos sse failover membership fallback bench-smoke
+check: vet race crash chaos sse failover membership fallback load bench-smoke
 
 fmt:
 	gofmt -l -w .

@@ -31,6 +31,7 @@
 //	        [-replicas 64] [-probe-interval 1s] [-probe-timeout 1s]
 //	        [-degraded-after 2] [-dead-after 6]
 //	bhpoctl status  [-addr http://localhost:8150]
+//	bhpoctl tenants [-addr http://localhost:8150]
 //	bhpoctl join    [-addr ...] -node c -url http://h3:8149
 //	bhpoctl drain   [-addr ...] -node c
 //	bhpoctl leave   [-addr ...] -node c [-deadline 30s]
@@ -69,6 +70,7 @@ import (
 	"time"
 
 	"enhancedbhpo/internal/coord"
+	"enhancedbhpo/internal/serve"
 )
 
 // nodeFlags collects repeated -node name=url flags.
@@ -108,6 +110,8 @@ func main() {
 		switch os.Args[1] {
 		case "status":
 			os.Exit(statusMain(os.Args[2:], os.Stdout))
+		case "tenants":
+			os.Exit(tenantsMain(os.Args[2:], os.Stdout))
 		case "replace":
 			os.Exit(memberMain("replace", os.Args[2:]))
 		case "join":
@@ -241,6 +245,48 @@ func renderStatus(out io.Writer, nodes []coord.NodeStatus) int {
 		}
 	}
 	return exit
+}
+
+// tenantsMain implements `bhpoctl tenants`: render GET /tenants — the
+// coordinator's cluster-wide merge or a single daemon's own view, both
+// serve the same shape — as a per-tenant accounting table.
+func tenantsMain(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("tenants", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8150", "coordinator (or daemon) address")
+	fs.Parse(args)
+	resp, err := http.Get(strings.TrimSuffix(*addr, "/") + "/tenants")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bhpoctl:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		fmt.Fprintf(os.Stderr, "bhpoctl: %s: %s\n", resp.Status, strings.TrimSpace(string(body)))
+		return 1
+	}
+	var payload struct {
+		Tenants []serve.TenantStatus `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		fmt.Fprintln(os.Stderr, "bhpoctl: decoding:", err)
+		return 1
+	}
+	return renderTenants(out, payload.Tenants)
+}
+
+// renderTenants prints the per-tenant table — factored out of
+// tenantsMain so tests can feed it statuses directly.
+func renderTenants(out io.Writer, tenants []serve.TenantStatus) int {
+	fmt.Fprintf(out, "%-16s %6s %7s %7s %6s %6s %8s %10s %6s %8s\n",
+		"TENANT", "WEIGHT", "QUEUED", "RUNNING", "DONE", "FAIL", "EVALS", "SERVICE", "SHED", "PREEMPTS")
+	for _, t := range tenants {
+		fmt.Fprintf(out, "%-16s %6d %7d %7d %6d %6d %8d %10.1f %6d %8d\n",
+			t.Tenant, t.Weight, t.JobsQueued, t.JobsRunning, t.JobsDone,
+			t.JobsFailed+t.JobsCancelled, t.Evaluations, t.ServiceUnits,
+			t.Shed, t.Preemptions)
+	}
+	return 0
 }
 
 func orDash(s string) string {

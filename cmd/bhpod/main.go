@@ -97,6 +97,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -141,6 +142,11 @@ func main() {
 		fuseOn   = flag.Bool("fuse-evals", true, "batch concurrent same-budget evaluations through the fused lockstep trainer (results are bitwise-identical either way)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
 
+		tenantW     = flag.String("tenant-weights", "", "per-tenant fair-share weights as name=weight pairs, comma-separated (e.g. gold=3,free=1); unlisted tenants get -tenant-default-weight")
+		tenantDefW  = flag.Int("tenant-default-weight", 1, "fair-share weight of tenants not named in -tenant-weights")
+		tenantQuota = flag.Int("tenant-quota", 0, "max queued jobs per tenant before its submissions shed with 429 (0 = no per-tenant quota)")
+		maxPreempts = flag.Int("max-preempts", 8, "max rung-boundary preemptions a single job absorbs before it runs to completion unpreempted (negative = preemption off)")
+
 		nodeName = flag.String("node", "", "cluster node name (ring identity under a bhpoctl coordinator; required with -ship-to)")
 		shipIntv = flag.Duration("ship-interval", 250*time.Millisecond, "background ship pass interval")
 		shipSync = flag.Bool("ship-sync", false, "ship synchronously: every journal append reaches every sink before the write returns (a kill -9 loses no acknowledged job)")
@@ -150,23 +156,37 @@ func main() {
 	flag.Var(&shipTo, "ship-to", "replicate the journal + traces to this sink: a directory, or a peer node's URL (its /ship receiver); repeatable for N-way replication; needs -data-dir and -node")
 	flag.Var(&restoreFrom, "restore-from", "before starting, restore a shipped replica (a sink's node directory) into -data-dir; repeatable — the first replica whose manifest verifies wins")
 	flag.Parse()
+	weights, err := parseTenantWeights(*tenantW)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bhpod: -tenant-weights:", err)
+		os.Exit(2)
+	}
+	if *maxPreempts == 0 {
+		// Flag semantics: 0 and negative both mean "never preempt" (the
+		// config's zero value would select the default of 8).
+		*maxPreempts = -1
+	}
 	cfg := serve.Config{
-		PoolSize:          *workers,
-		MaxJobs:           *maxJobs,
-		MaxPending:        *maxPend,
-		EvalTimeout:       *evalTmo,
-		CacheEntries:      *cacheN,
-		DataDir:           *dataDir,
-		JournalMaxBytes:   *jrnlMax,
-		ScopeTTL:          *scopeTTL,
-		EvalAttempts:      *attempts,
-		RetryBackoff:      *backoff,
-		FailureBudget:     *failures,
-		EventBuffer:       *eventBuf,
-		TraceMaxBytes:     *traceMax,
-		KernelWorkers:     *kernelW,
-		DisableEvalFusion: !*fuseOn,
-		NodeName:          *nodeName,
+		PoolSize:            *workers,
+		MaxJobs:             *maxJobs,
+		MaxPending:          *maxPend,
+		TenantWeights:       weights,
+		TenantDefaultWeight: *tenantDefW,
+		TenantQuota:         *tenantQuota,
+		MaxPreempts:         *maxPreempts,
+		EvalTimeout:         *evalTmo,
+		CacheEntries:        *cacheN,
+		DataDir:             *dataDir,
+		JournalMaxBytes:     *jrnlMax,
+		ScopeTTL:            *scopeTTL,
+		EvalAttempts:        *attempts,
+		RetryBackoff:        *backoff,
+		FailureBudget:       *failures,
+		EventBuffer:         *eventBuf,
+		TraceMaxBytes:       *traceMax,
+		KernelWorkers:       *kernelW,
+		DisableEvalFusion:   !*fuseOn,
+		NodeName:            *nodeName,
 	}
 	cluster := clusterFlags{
 		ShipTo:       shipTo,
@@ -175,7 +195,6 @@ func main() {
 		ShipRecvDir:  *shipRecv,
 		RestoreFrom:  restoreFrom,
 	}
-	var err error
 	if *standby {
 		err = runStandby(*addr, cfg, cluster, *drainTmo)
 	} else {
@@ -185,6 +204,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bhpod:", err)
 		os.Exit(1)
 	}
+}
+
+// parseTenantWeights parses "name=weight,name=weight" into the serve
+// config's weight map. An empty string means no per-tenant overrides.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad pair %q (want name=weight)", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad weight %q for tenant %q (want integer >= 1)", val, name)
+		}
+		out[name] = w
+	}
+	return out, nil
 }
 
 // clusterFlags carries the journal-shipping and failover options.

@@ -1,0 +1,461 @@
+// Command bhpoload is the closed-loop load harness for the multi-tenant
+// weighted-fair scheduler: it simulates N tenants (thousands, if asked)
+// each keeping one job in flight against a bhpod — either an external
+// daemon/coordinator (-addr) or a self-hosted in-process service
+// (-selfhost) — and reports the numbers the scheduler is accountable
+// for: p50/p99 submit-to-first-curve-point latency, the shed rate under
+// admission pressure, per-weight-class throughput, and the weighted
+// fairness ratio (per-tenant throughput normalized by weight, max/min
+// across classes; 1.0 is perfect weighted fairness).
+//
+// Tenants are assigned round-robin to the -classes weight list, so
+// `-tenants 48 -classes 3,1` builds 24 weight-3 tenants interleaved
+// with 24 weight-1 tenants. Each tenant loops: submit a small job
+// (X-Submit-Token idempotency headers are not needed — every spec is
+// fresh), back off briefly on a 429, poll the job until its anytime
+// curve has a first point (latency sample) and then until it finishes,
+// and immediately submit the next. The loop never opens more than one
+// job per tenant, so offered load tracks completion rate — a closed
+// loop, not an open firehose — and fairness shows up directly in
+// completions per tenant.
+//
+// In -selfhost mode the harness wires the weights programmatically
+// (tenant-0042 → its class weight), swaps the MLP evaluator for a
+// fixed-latency synthetic one (-eval-ms) that still occupies a real
+// pool slot, and serves the real HTTP stack via an in-process listener:
+// everything between the socket and the slot — admission, quotas, the
+// stride scheduler, preemption, journaling — is the production path.
+//
+// With -out the report is written as JSON (the BENCH_service.json
+// artifact); with -assert-fairness F the harness exits non-zero when
+// the weighted fairness ratio exceeds F, which `make load` uses as a
+// regression gate.
+//
+// Usage:
+//
+//	bhpoload -selfhost -tenants 1000 -classes 3,1 -duration 8s \
+//	         -pool 8 -max-jobs 32 -max-pending 256 -eval-ms 5 \
+//	         -out BENCH_service.json
+//	bhpoload -addr http://localhost:8149 -tenants 16 -duration 30s
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enhancedbhpo/internal/hpo"
+	"enhancedbhpo/internal/rng"
+	"enhancedbhpo/internal/search"
+	"enhancedbhpo/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "target daemon or coordinator URL (empty with -selfhost)")
+		selfhost = flag.Bool("selfhost", false, "run an in-process bhpod service instead of targeting -addr")
+		tenants  = flag.Int("tenants", 8, "number of simulated tenants")
+		classes  = flag.String("classes", "3,1", "comma-separated weight classes assigned round-robin")
+		duration = flag.Duration("duration", 10*time.Second, "how long tenants keep submitting")
+		pool     = flag.Int("pool", 4, "selfhost: shared evaluation pool size")
+		maxJobs  = flag.Int("max-jobs", 8, "selfhost: concurrently running job bound")
+		maxPend  = flag.Int("max-pending", 256, "selfhost: global queued-job cap (shed past it)")
+		quota    = flag.Int("quota", 0, "selfhost: per-tenant queued-job quota (0 = off)")
+		evalMS   = flag.Int("eval-ms", 5, "selfhost: synthetic per-evaluation latency in ms (0 = real MLP training)")
+		poll     = flag.Duration("poll", 10*time.Millisecond, "job status poll interval")
+		out      = flag.String("out", "", "write the JSON report here (empty = stdout)")
+		assertF  = flag.Float64("assert-fairness", 0, "exit 1 when the weighted fairness ratio exceeds this (0 = no assertion)")
+		seed     = flag.Int64("seed", 1, "harness RNG seed (backoff jitter, spec seeds)")
+	)
+	flag.Parse()
+	weights, err := parseClasses(*classes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bhpoload:", err)
+		os.Exit(2)
+	}
+	if *tenants < 1 {
+		fmt.Fprintln(os.Stderr, "bhpoload: -tenants must be >= 1")
+		os.Exit(2)
+	}
+
+	base := *addr
+	var shutdown func()
+	if *selfhost {
+		base, shutdown = startSelfhost(*tenants, weights, *pool, *maxJobs, *maxPend, *quota, *evalMS)
+		defer shutdown()
+	} else if base == "" {
+		fmt.Fprintln(os.Stderr, "bhpoload: need -addr or -selfhost")
+		os.Exit(2)
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	rep := runLoad(base, *tenants, weights, *duration, *poll, *seed)
+	if shutdown != nil {
+		shutdown()
+		shutdown = nil
+	}
+
+	payload, _ := json.MarshalIndent(rep, "", "  ")
+	payload = append(payload, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, payload, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bhpoload:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bhpoload: wrote %s (%d tenants, %d jobs, fairness %.2f)\n",
+			*out, rep.Tenants, rep.JobsDone, rep.WeightedFairnessRatio)
+	} else {
+		os.Stdout.Write(payload)
+	}
+	if *assertF > 0 {
+		if rep.JobsDone == 0 {
+			fmt.Fprintln(os.Stderr, "bhpoload: fairness assertion failed: no jobs completed")
+			os.Exit(1)
+		}
+		if rep.WeightedFairnessRatio > *assertF {
+			fmt.Fprintf(os.Stderr, "bhpoload: fairness assertion failed: weighted ratio %.2f > %.2f\n",
+				rep.WeightedFairnessRatio, *assertF)
+			os.Exit(1)
+		}
+	}
+}
+
+// parseClasses parses "3,1" into the weight-class list.
+func parseClasses(s string) ([]int, error) {
+	var weights []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-classes: weight %q must be an integer >= 1", part)
+		}
+		weights = append(weights, w)
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("-classes: need at least one weight")
+	}
+	return weights, nil
+}
+
+func tenantName(i int) string { return fmt.Sprintf("tenant-%04d", i) }
+
+// sleepEvaluator stands in for MLP training in selfhost mode: it holds
+// its pool slot for a fixed latency and returns a placeholder fold
+// score, so the harness measures the scheduler, not the math kernels.
+type sleepEvaluator struct {
+	inner hpo.Evaluator
+	d     time.Duration
+}
+
+func (e *sleepEvaluator) FullBudget() int { return e.inner.FullBudget() }
+
+func (e *sleepEvaluator) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([]float64, error) {
+	time.Sleep(e.d)
+	return []float64{0.5}, nil
+}
+
+// startSelfhost boots the in-process service: programmatic tenant
+// weights for every simulated tenant, the synthetic evaluator, and the
+// real HTTP server on a loopback listener.
+func startSelfhost(tenants int, classes []int, pool, maxJobs, maxPend, quota, evalMS int) (string, func()) {
+	tw := make(map[string]int, tenants)
+	for i := 0; i < tenants; i++ {
+		tw[tenantName(i)] = classes[i%len(classes)]
+	}
+	cfg := serve.Config{
+		PoolSize:      pool,
+		MaxJobs:       maxJobs,
+		MaxPending:    maxPend,
+		TenantWeights: tw,
+		TenantQuota:   quota,
+	}
+	if evalMS > 0 {
+		d := time.Duration(evalMS) * time.Millisecond
+		cfg.WrapEvaluator = func(jobID string, inner hpo.Evaluator) hpo.Evaluator {
+			return &sleepEvaluator{inner: inner, d: d}
+		}
+	}
+	m := serve.NewManager(cfg)
+	ts := httptest.NewServer(serve.NewServer(m))
+	var once sync.Once
+	return ts.URL, func() {
+		once.Do(func() {
+			ts.Close()
+			// Jobs still in flight are cancelled with the shutdown reason;
+			// the harness has already stopped caring about their results.
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			m.Shutdown(ctx)
+		})
+	}
+}
+
+// report is the JSON artifact (BENCH_service.json when -out is set).
+type report struct {
+	Tenants    int     `json:"tenants"`
+	Classes    []int   `json:"classes"`
+	DurationMS float64 `json:"duration_ms"`
+	JobsDone   int64   `json:"jobs_done"`
+	JobsFailed int64   `json:"jobs_failed"`
+	Submitted  int64   `json:"submitted"`
+	Shed       int64   `json:"shed"`
+	ShedRate   float64 `json:"shed_rate"`
+	// FirstPoint latencies: submit acknowledged -> first anytime-curve
+	// point visible, in milliseconds.
+	FirstPointP50MS float64 `json:"first_point_p50_ms"`
+	FirstPointP99MS float64 `json:"first_point_p99_ms"`
+	// PerClass carries one row per weight class.
+	PerClass []classReport `json:"per_class"`
+	// RawFairnessRatio is max/min per-tenant-average throughput across
+	// classes, unnormalized (equals the weight ratio under perfect
+	// weighted fairness). WeightedFairnessRatio normalizes each class by
+	// its weight first; 1.0 is perfect.
+	RawFairnessRatio      float64 `json:"raw_fairness_ratio"`
+	WeightedFairnessRatio float64 `json:"weighted_fairness_ratio"`
+}
+
+type classReport struct {
+	Weight  int   `json:"weight"`
+	Tenants int   `json:"tenants"`
+	Jobs    int64 `json:"jobs"`
+	// JobsPerTenantPerSec is the class's per-tenant-average completion
+	// throughput; dividing by Weight gives the normalized share the
+	// fairness ratio compares.
+	JobsPerTenantPerSec float64 `json:"jobs_per_tenant_per_sec"`
+}
+
+// runLoad drives the closed loop: one goroutine per tenant, each
+// keeping exactly one job in flight until the deadline.
+func runLoad(base string, tenants int, classes []int, d, poll time.Duration, seed int64) *report {
+	var (
+		submitted atomic.Int64
+		shed      atomic.Int64
+		done      atomic.Int64
+		failed    atomic.Int64
+		mu        sync.Mutex
+		latencies []float64
+		classJobs = make([]int64, len(classes))
+	)
+	deadline := time.Now().Add(d)
+	client := &http.Client{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t := tenantLoop{
+				base:   base,
+				client: client,
+				tenant: tenantName(i),
+				class:  i % len(classes),
+				poll:   poll,
+				rnd:    rand.New(rand.NewSource(seed + int64(i))),
+			}
+			for time.Now().Before(deadline) {
+				first, ok, failedJob := t.oneJob(deadline, &submitted, &shed)
+				if !ok {
+					continue
+				}
+				if failedJob {
+					failed.Add(1)
+					continue
+				}
+				done.Add(1)
+				mu.Lock()
+				classJobs[t.class]++
+				if first > 0 {
+					latencies = append(latencies, float64(first)/float64(time.Millisecond))
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	rep := &report{
+		Tenants:    tenants,
+		Classes:    classes,
+		DurationMS: float64(d) / float64(time.Millisecond),
+		JobsDone:   done.Load(),
+		JobsFailed: failed.Load(),
+		Submitted:  submitted.Load(),
+		Shed:       shed.Load(),
+	}
+	if total := rep.Submitted + rep.Shed; total > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(total)
+	}
+	sort.Float64s(latencies)
+	rep.FirstPointP50MS = percentile(latencies, 0.50)
+	rep.FirstPointP99MS = percentile(latencies, 0.99)
+
+	secs := d.Seconds()
+	minNorm, maxNorm := 0.0, 0.0
+	minRaw, maxRaw := 0.0, 0.0
+	for c, w := range classes {
+		// Tenants are assigned round-robin, so class c holds every i with
+		// i%len(classes) == c.
+		n := tenants / len(classes)
+		if c < tenants%len(classes) {
+			n++
+		}
+		perTenant := 0.0
+		if n > 0 && secs > 0 {
+			perTenant = float64(classJobs[c]) / float64(n) / secs
+		}
+		rep.PerClass = append(rep.PerClass, classReport{
+			Weight:              w,
+			Tenants:             n,
+			Jobs:                classJobs[c],
+			JobsPerTenantPerSec: perTenant,
+		})
+		norm := perTenant / float64(w)
+		if c == 0 || norm < minNorm {
+			minNorm = norm
+		}
+		if c == 0 || norm > maxNorm {
+			maxNorm = norm
+		}
+		if c == 0 || perTenant < minRaw {
+			minRaw = perTenant
+		}
+		if c == 0 || perTenant > maxRaw {
+			maxRaw = perTenant
+		}
+	}
+	if minNorm > 0 {
+		rep.WeightedFairnessRatio = maxNorm / minNorm
+	}
+	if minRaw > 0 {
+		rep.RawFairnessRatio = maxRaw / minRaw
+	}
+	return rep
+}
+
+type tenantLoop struct {
+	base   string
+	client *http.Client
+	tenant string
+	class  int
+	poll   time.Duration
+	rnd    *rand.Rand
+	seq    uint64
+}
+
+// oneJob submits one job and follows it to a terminal state. Returns
+// the submit-to-first-curve-point latency (0 if never observed — the
+// deadline can land mid-job), whether a job completed at all, and
+// whether it finished failed/cancelled rather than done.
+func (t *tenantLoop) oneJob(deadline time.Time, submitted, shed *atomic.Int64) (time.Duration, bool, bool) {
+	t.seq++
+	spec := map[string]any{
+		"tenant":  t.tenant,
+		"dataset": "australian",
+		"scale":   0.1,
+		"method":  "random",
+		"trials":  1,
+		"iters":   2,
+		"seed":    t.seq,
+	}
+	body, _ := json.Marshal(spec)
+	start := time.Now()
+	id := ""
+	for id == "" {
+		if !time.Now().Before(deadline) {
+			return 0, false, false
+		}
+		resp, err := t.client.Post(t.base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.backoff()
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var snap struct {
+				ID string `json:"id"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&snap)
+			resp.Body.Close()
+			if err != nil || snap.ID == "" {
+				return 0, false, false
+			}
+			submitted.Add(1)
+			id = snap.ID
+		case http.StatusTooManyRequests:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			shed.Add(1)
+			t.backoff()
+		default:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			t.backoff()
+		}
+	}
+
+	var first time.Duration
+	for {
+		resp, err := t.client.Get(t.base + "/jobs/" + id)
+		if err != nil {
+			time.Sleep(t.poll)
+			continue
+		}
+		var snap struct {
+			Status string            `json:"status"`
+			Curve  []json.RawMessage `json:"curve"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			time.Sleep(t.poll)
+			continue
+		}
+		if first == 0 && len(snap.Curve) > 0 {
+			first = time.Since(start)
+		}
+		switch snap.Status {
+		case "done":
+			return first, true, false
+		case "failed", "cancelled":
+			return first, true, true
+		}
+		// Past the deadline the loop only waits for the in-flight job, so
+		// every completion is counted; a job the service never finishes
+		// (service shut down) is abandoned after a grace period.
+		if time.Since(deadline.Add(30*time.Second)) > 0 {
+			return first, false, false
+		}
+		time.Sleep(t.poll)
+	}
+}
+
+// backoff sleeps a short jittered interval after a shed or transport
+// error — capped well under a second so the closed loop re-offers load
+// quickly and the shed rate reflects steady-state pressure.
+func (t *tenantLoop) backoff() {
+	d := 20*time.Millisecond + time.Duration(t.rnd.Int63n(int64(180*time.Millisecond)))
+	time.Sleep(d)
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -170,7 +170,9 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, fmt.Errorf("coord: no nodes")
 	}
 	c.mux.HandleFunc("POST /jobs", c.submitJob)
+	c.mux.HandleFunc("POST /jobs:batch", c.submitBatch)
 	c.mux.HandleFunc("GET /jobs", c.listJobs)
+	c.mux.HandleFunc("GET /tenants", c.listTenants)
 	c.mux.HandleFunc("GET /jobs/{id}", c.jobProxy)
 	c.mux.HandleFunc("DELETE /jobs/{id}", c.jobProxy)
 	c.mux.HandleFunc("GET /jobs/{id}/events", c.jobEvents)
@@ -421,6 +423,170 @@ func (c *Coordinator) submitJob(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// submitBatch routes POST /jobs:batch. The whole batch lands on ONE
+// node — picked by the first spec's cache scope — so the all-or-nothing
+// admission guarantee (every item admitted against the global cap and
+// every tenant's quota, or none) holds exactly: it is the node's own
+// atomic batch enqueue, not a coordinator simulation spread over
+// several nodes. Worker rejections (per-item 400s, quota/overload 429s
+// with their priced Retry-After) relay verbatim; only accepted job IDs
+// are rewritten to their node-qualified form.
+func (c *Coordinator) submitBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var req struct {
+		Jobs []serve.JobSpec `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding batch: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	scope := req.Jobs[0].CacheScope()
+	token := newSubmitToken()
+	tried := map[string]bool{}
+	var lastErr error
+	var lastNode string
+	for {
+		node, ok := c.routeNode(scope, tried)
+		if !ok {
+			if lastErr != nil {
+				writeError(w, http.StatusBadGateway, "node %s: %v (no further candidates)", lastNode, lastErr)
+			} else {
+				writeError(w, http.StatusServiceUnavailable, "no servable node for scope")
+			}
+			return
+		}
+		nodeURL, _ := c.urlOf(node)
+		hreq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, nodeURL+"/jobs:batch", bytes.NewReader(body))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("X-Submit-Token", token)
+		resp, err := c.client.Do(hreq)
+		if err != nil {
+			if r.Context().Err() != nil {
+				writeError(w, http.StatusBadGateway, "node %s: %v", node, err)
+				return
+			}
+			tried[node] = true
+			lastErr, lastNode = err, node
+			c.submitRetries.Add(1)
+			continue
+		}
+		func() {
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				var out struct {
+					Jobs []serve.Snapshot `json:"jobs"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+					writeError(w, http.StatusBadGateway, "node %s: decoding response: %v", node, err)
+					return
+				}
+				for i := range out.Jobs {
+					out.Jobs[i].ID = qualifyID(node, out.Jobs[i].ID)
+				}
+				c.jobsRouted.Add(int64(len(out.Jobs)))
+				writeJSON(w, http.StatusAccepted, out)
+				return
+			}
+			copyResponse(w, resp)
+		}()
+		return
+	}
+}
+
+// listTenants fans GET /tenants out to every live node and merges the
+// per-tenant rows by name: counters sum across the cluster, the weight
+// is the configured one (identical on every node by construction), and
+// virtual time reports the maximum — each node runs its own clock, so
+// the merged value is a high-water mark, not a cluster-wide total.
+func (c *Coordinator) listTenants(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.nodes))
+	for name := range c.nodes {
+		names = append(names, name)
+	}
+	c.mu.Unlock()
+	results := make(chan []serve.TenantStatus, len(names))
+	var wg sync.WaitGroup
+	for _, name := range names {
+		if c.prober.stateOf(name) == StateDead {
+			continue
+		}
+		nodeURL, _ := c.urlOf(name)
+		wg.Add(1)
+		go func(nodeURL string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, nodeURL+"/tenants", nil)
+			if err != nil {
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var body struct {
+				Tenants []serve.TenantStatus `json:"tenants"`
+			}
+			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&body) != nil {
+				return
+			}
+			results <- body.Tenants
+		}(nodeURL)
+	}
+	wg.Wait()
+	close(results)
+	merged := map[string]*serve.TenantStatus{}
+	for rows := range results {
+		for _, row := range rows {
+			t, ok := merged[row.Tenant]
+			if !ok {
+				cp := row
+				merged[row.Tenant] = &cp
+				continue
+			}
+			if row.Weight > t.Weight {
+				t.Weight = row.Weight
+			}
+			if row.VTime > t.VTime {
+				t.VTime = row.VTime
+			}
+			t.Queued += row.Queued
+			t.Running += row.Running
+			t.InflightEvals += row.InflightEvals
+			t.Granted += row.Granted
+			t.Evaluations += row.Evaluations
+			t.ServiceUnits += row.ServiceUnits
+			t.Shed += row.Shed
+			t.Preemptions += row.Preemptions
+			t.JobsQueued += row.JobsQueued
+			t.JobsRunning += row.JobsRunning
+			t.JobsDone += row.JobsDone
+			t.JobsFailed += row.JobsFailed
+			t.JobsCancelled += row.JobsCancelled
+		}
+	}
+	out := make([]serve.TenantStatus, 0, len(merged))
+	for _, t := range merged {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	writeJSON(w, http.StatusOK, struct {
+		Tenants []serve.TenantStatus `json:"tenants"`
+	}{Tenants: out})
+}
+
 // copyResponse relays a worker response verbatim: status, headers, body.
 func copyResponse(w http.ResponseWriter, resp *http.Response) {
 	for k, vals := range resp.Header {
@@ -602,7 +768,13 @@ func (c *Coordinator) listJobs(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(name, nodeURL string) {
 			defer wg.Done()
-			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, nodeURL+"/jobs", nil)
+			u := nodeURL + "/jobs"
+			if r.URL.RawQuery != "" {
+				// The ?tenant=X filter (and any future query) applies on
+				// each node; the merge below only sees matching jobs.
+				u += "?" + r.URL.RawQuery
+			}
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u, nil)
 			if err != nil {
 				return
 			}
@@ -762,6 +934,8 @@ type ClusterMetrics struct {
 	JobsCancelled          int     `json:"jobs_cancelled"`
 	PendingDepth           int     `json:"pending_depth"`
 	Evaluations            int64   `json:"evaluations"`
+	Preemptions            int64   `json:"preemptions"`
+	QuotaShed              int64   `json:"quota_shed"`
 	SegmentsShipped        int64   `json:"segments_shipped"`
 	ShipRetries            int64   `json:"ship_retries"`
 	ShipBytes              int64   `json:"ship_bytes"`
@@ -821,6 +995,8 @@ func (c *Coordinator) metrics(w http.ResponseWriter, r *http.Request) {
 			out.JobsCancelled += m.JobsCancelled
 			out.PendingDepth += m.PendingDepth
 			out.Evaluations += m.Evaluations
+			out.Preemptions += m.Preemptions
+			out.QuotaShed += m.QuotaShed
 			out.SegmentsShipped += m.SegmentsShipped
 			out.ShipRetries += m.ShipRetries
 			out.ShipBytes += m.ShipBytes

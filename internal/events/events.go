@@ -50,6 +50,15 @@ const (
 	// cancelled). Terminal marks the final transition; after it the
 	// job's feed is closed.
 	TypeStatus Type = "status"
+	// TypePreempted: the weighted-fair scheduler reclaimed the job's
+	// slot at a rung boundary; the job is back in the queued state with
+	// its completed trials checkpointed. Round is the highest rung
+	// reached so far.
+	TypePreempted Type = "preempted"
+	// TypeResumed: a previously preempted (or crash-recovered) job got
+	// a slot back and is running again; its checkpointed trial prefix
+	// replays deterministically before new trials appear.
+	TypeResumed Type = "resumed"
 )
 
 // Event is one job telemetry record. Only the fields relevant to the

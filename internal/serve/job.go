@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
@@ -11,9 +13,18 @@ import (
 	"enhancedbhpo/internal/trace"
 )
 
+// DefaultTenant is the tenant charged for submissions that name none.
+const DefaultTenant = "default"
+
 // JobSpec is the JSON body of POST /jobs: a dataset reference, a search
 // space, a method and its options.
 type JobSpec struct {
+	// Tenant names who the job is charged to: the weighted-fair
+	// scheduler's accounting key for slot grants, virtual-time charges
+	// and quotas. Empty selects "default". Deliberately not part of
+	// CacheScope — tenants submitting identical workloads share warm
+	// evaluation caches.
+	Tenant string `json:"tenant,omitempty"`
 	// Dataset names one of the simulated paper datasets (dataset.Names).
 	Dataset string `json:"dataset"`
 	// Scale shrinks or grows the dataset. 0 selects 0.35, the repo's
@@ -55,6 +66,9 @@ type JobSpec struct {
 }
 
 func (s JobSpec) withDefaults() JobSpec {
+	if s.Tenant == "" {
+		s.Tenant = DefaultTenant
+	}
 	if s.Scale == 0 {
 		s.Scale = 0.35
 	}
@@ -97,6 +111,9 @@ func fieldErr(field, format string, args ...any) error {
 // honor (per its capability flags) are rejected here — a named-field 400
 // at submission — instead of being silently ignored at run time.
 func (s JobSpec) Validate() error {
+	if err := validTenant(s.Tenant); err != nil {
+		return err
+	}
 	if _, err := dataset.SpecByName(s.Dataset); err != nil {
 		return fieldErr("dataset", "%v", err)
 	}
@@ -135,6 +152,24 @@ func (s JobSpec) Validate() error {
 	}
 	if s.TimeoutSec < 0 {
 		return fieldErr("timeout_sec", "negative timeout_sec")
+	}
+	return nil
+}
+
+// validTenant bounds tenant names: they key scheduler accounting and
+// appear in journals, metrics and CLI tables, so keep them short and
+// free of separators.
+func validTenant(name string) error {
+	if len(name) > 64 {
+		return fieldErr("tenant", "tenant name longer than 64 bytes")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fieldErr("tenant", "tenant name may only contain [a-zA-Z0-9._-], got %q", name)
+		}
 	}
 	return nil
 }
@@ -239,6 +274,17 @@ type Job struct {
 	hasTest   bool
 	restored  *restoredState
 
+	// Preemption/resume state. segCancel cancels the current run
+	// segment's context with cause errPreempted; preempts counts the
+	// rung-boundary yields so far (capped by Config.MaxPreempts);
+	// checkpointLen is how many leading trials were recorded in earlier
+	// segments; replaySkip counts how many upcoming observations are
+	// deterministic replays of that prefix and must not be re-recorded.
+	segCancel     context.CancelCauseFunc
+	preempts      int
+	checkpointLen int
+	replaySkip    int
+
 	// Incumbent recurrence, maintained trial by trial so each observed
 	// trial yields its anytime-curve point without recomputing the whole
 	// curve. Matches trace.Anytime exactly: a full recompute over trials
@@ -306,6 +352,79 @@ func (j *Job) cancelWith(reason Reason) {
 	cancel()
 }
 
+// tenant returns the job's (defaulted) tenant.
+func (j *Job) tenant() string {
+	if j.Spec.Tenant == "" {
+		return DefaultTenant
+	}
+	return j.Spec.Tenant
+}
+
+// ckTrial is one checkpointed trial: everything the curve, snapshot and
+// incumbent recurrence need. The configuration itself is omitted — the
+// resume re-derives it deterministically from the spec seed, and the
+// replayed observations are skipped rather than compared.
+type ckTrial struct {
+	Budget     int       `json:"budget"`
+	Round      int       `json:"round"`
+	Score      float64   `json:"score"`
+	FoldScores []float64 `json:"fold_scores,omitempty"`
+	Gamma      float64   `json:"gamma,omitempty"`
+	ElapsedNS  int64     `json:"elapsed_ns"`
+}
+
+// checkpointState is the journal's preempt-record payload: the trial
+// prefix completed before the slot was reclaimed, plus the preemption
+// count so a restart keeps honoring the per-job cap.
+type checkpointState struct {
+	Preempts int       `json:"preempts"`
+	Trials   []ckTrial `json:"trials"`
+}
+
+// checkpointLocked snapshots the job's completed trials for the
+// journal. Called with j.mu held.
+func (j *Job) checkpointLocked() checkpointState {
+	ck := checkpointState{Preempts: j.preempts, Trials: make([]ckTrial, len(j.trials))}
+	for i, tr := range j.trials {
+		ck.Trials[i] = ckTrial{
+			Budget:     tr.Budget,
+			Round:      tr.Round,
+			Score:      tr.Score,
+			FoldScores: append([]float64(nil), tr.FoldScores...),
+			Gamma:      tr.Gamma,
+			ElapsedNS:  int64(tr.Elapsed),
+		}
+	}
+	return ck
+}
+
+// restoreCheckpoint seeds a replayed job from a journaled checkpoint:
+// the trial prefix is re-recorded through the same incumbent recurrence
+// the live path uses (so the curve is bit-identical to what the dead
+// process had), and the replay-skip counter arms the observer to let
+// the optimizer regenerate that prefix without double-recording it.
+func (j *Job) restoreCheckpoint(raw json.RawMessage) error {
+	var ck checkpointState
+	if err := json.Unmarshal(raw, &ck); err != nil {
+		return fmt.Errorf("serve: decoding checkpoint: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, t := range ck.Trials {
+		j.recordTrialLocked(hpo.Trial{
+			Budget:     t.Budget,
+			Round:      t.Round,
+			Score:      t.Score,
+			FoldScores: t.FoldScores,
+			Gamma:      t.Gamma,
+			Elapsed:    time.Duration(t.ElapsedNS),
+		})
+	}
+	j.preempts = ck.Preempts
+	j.checkpointLen = len(j.trials)
+	return nil
+}
+
 // recordEvalFailure counts one definitive evaluation failure against the
 // job's failure budget, keeping the most recent stack for the job
 // record. It returns the new failure count and whether the failure is
@@ -327,6 +446,13 @@ type Snapshot struct {
 	ID     string  `json:"id"`
 	Status Status  `json:"status"`
 	Spec   JobSpec `json:"spec"`
+	// Tenant is the job's (defaulted) accounting tenant, surfaced at the
+	// top level so listings and the coordinator's merged job view can
+	// filter without digging into the spec.
+	Tenant string `json:"tenant"`
+	// Preemptions counts the rung-boundary slot yields this job has
+	// absorbed; each one checkpointed its trials and re-queued the rest.
+	Preemptions int `json:"preemptions,omitempty"`
 	// Reason qualifies a cancelled status: user_cancel, timeout,
 	// shutdown or interrupted.
 	Reason Reason `json:"reason,omitempty"`
@@ -368,6 +494,8 @@ func (j *Job) Snapshot() Snapshot {
 		ID:          j.ID,
 		Status:      j.status,
 		Spec:        j.Spec,
+		Tenant:      j.tenant(),
+		Preemptions: j.preempts,
 		Reason:      j.reason,
 		Error:       j.errMsg,
 		Stack:       j.stack,

@@ -65,26 +65,45 @@ const (
 	// job's replayed state and are dropped by compaction; they exist so a
 	// post-mortem can see what the daemon shed or abandoned and when.
 	TypeEvent = "event"
+	// TypePreempt records a rung-boundary preemption: the scheduler
+	// reclaimed the job's slot, and Checkpoint carries the serve layer's
+	// snapshot of the trials completed so far. On replay the job is
+	// queued with the checkpoint attached, so a restart resumes it from
+	// its last rung boundary instead of restarting from scratch; the
+	// latest preempt record wins and a terminal result supersedes it.
+	TypePreempt = "preempt"
 )
 
 // Record is one journal line. The spec travels as raw JSON so this
 // package stays independent of the serve layer's types; curves reuse the
 // trace package's bit-exact Point round-trip.
 type Record struct {
-	Type        string          `json:"t"`
-	Time        time.Time       `json:"time"`
-	JobID       string          `json:"job"`
-	Token       string          `json:"token,omitempty"`
-	Spec        json.RawMessage `json:"spec,omitempty"`
-	Status      string          `json:"status,omitempty"`
-	Reason      string          `json:"reason,omitempty"`
-	Error       string          `json:"error,omitempty"`
-	Stack       string          `json:"stack,omitempty"`
-	Evaluations int             `json:"evaluations,omitempty"`
-	Curve       []trace.Point   `json:"curve,omitempty"`
-	BestConfig  map[string]any  `json:"best_config,omitempty"`
-	BestScore   *float64        `json:"best_score,omitempty"`
-	TestScore   *float64        `json:"test_score,omitempty"`
+	Type  string          `json:"t"`
+	Time  time.Time       `json:"time"`
+	JobID string          `json:"job"`
+	Token string          `json:"token,omitempty"`
+	Spec  json.RawMessage `json:"spec,omitempty"`
+	// Tenant is the submitting tenant, carried on submit and preempt
+	// records so a restart rebuilds per-tenant accounting without
+	// decoding every spec.
+	Tenant      string         `json:"tenant,omitempty"`
+	Status      string         `json:"status,omitempty"`
+	Reason      string         `json:"reason,omitempty"`
+	Error       string         `json:"error,omitempty"`
+	Stack       string         `json:"stack,omitempty"`
+	Evaluations int            `json:"evaluations,omitempty"`
+	Curve       []trace.Point  `json:"curve,omitempty"`
+	BestConfig  map[string]any `json:"best_config,omitempty"`
+	BestScore   *float64       `json:"best_score,omitempty"`
+	TestScore   *float64       `json:"test_score,omitempty"`
+	// Checkpoint is the serve layer's opaque rung-state snapshot on
+	// preempt records: the trials completed before the slot was
+	// reclaimed, enough to resume the job deterministically.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	// Preemptions on a result record carries the job's final yield
+	// count, so compaction — which folds the preempt history of a
+	// finished job away — does not lose it.
+	Preemptions int `json:"preemptions,omitempty"`
 }
 
 // segmentName and baseName are the on-disk names for sequence seq.
@@ -303,7 +322,9 @@ func (w *Writer) Append(rec Record) error {
 		return fmt.Errorf("journal: appending: %w", err)
 	}
 	w.size += int64(len(line))
-	if rec.Type == TypeResult {
+	if rec.Type == TypeResult || rec.Type == TypePreempt {
+		// Results are a job's final word; preempt records are a resumable
+		// job's only recovery point — both are worth the fsync.
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("journal: fsync: %w", err)
 		}
@@ -417,6 +438,7 @@ func DirStats(dir string) Stats {
 type JobState struct {
 	ID          string
 	Token       string
+	Tenant      string
 	Spec        json.RawMessage
 	Status      string
 	Reason      string
@@ -430,6 +452,11 @@ type JobState struct {
 	SubmittedAt time.Time
 	StartedAt   time.Time
 	FinishedAt  time.Time
+	// Checkpoint is the latest preempt record's rung-state snapshot for
+	// a job that has not reached a terminal state — the resume point
+	// after a restart. Nil once a terminal record lands.
+	Checkpoint  json.RawMessage
+	Preemptions int
 }
 
 // Terminal reports whether the state is a journaled terminal outcome.
@@ -465,10 +492,21 @@ func (r *replayState) apply(rec Record) {
 		if rec.Token != "" {
 			st.Token = rec.Token
 		}
+		if rec.Tenant != "" {
+			st.Tenant = rec.Tenant
+		}
 	case TypeStatus:
 		st.Status = rec.Status
 		if rec.Status == "running" {
 			st.StartedAt = rec.Time
+		}
+	case TypePreempt:
+		st.Status = "queued"
+		st.Checkpoint = rec.Checkpoint
+		st.Preemptions++
+		st.Evaluations = rec.Evaluations
+		if rec.Tenant != "" {
+			st.Tenant = rec.Tenant
 		}
 	case TypeResult:
 		st.Status = rec.Status
@@ -476,11 +514,15 @@ func (r *replayState) apply(rec Record) {
 		st.Error = rec.Error
 		st.Stack = rec.Stack
 		st.Evaluations = rec.Evaluations
+		if rec.Preemptions > 0 {
+			st.Preemptions = rec.Preemptions
+		}
 		st.Curve = rec.Curve
 		st.BestConfig = rec.BestConfig
 		st.BestScore = rec.BestScore
 		st.TestScore = rec.TestScore
 		st.FinishedAt = rec.Time
+		st.Checkpoint = nil // terminal outcome supersedes any checkpoint
 	}
 }
 
@@ -627,12 +669,21 @@ func writeBase(dir string, seq int, states []JobState) error {
 	enc := json.NewEncoder(f)
 	write := func(rec Record) error { return enc.Encode(rec) }
 	for _, st := range states {
-		if err := write(Record{Type: TypeSubmit, Time: st.SubmittedAt, JobID: st.ID, Token: st.Token, Spec: st.Spec}); err != nil {
+		if err := write(Record{Type: TypeSubmit, Time: st.SubmittedAt, JobID: st.ID, Token: st.Token, Tenant: st.Tenant, Spec: st.Spec}); err != nil {
 			f.Close()
 			return fmt.Errorf("journal: compacting: %w", err)
 		}
 		if !st.StartedAt.IsZero() {
 			if err := write(Record{Type: TypeStatus, Time: st.StartedAt, JobID: st.ID, Status: "running"}); err != nil {
+				f.Close()
+				return fmt.Errorf("journal: compacting: %w", err)
+			}
+		}
+		if !st.Terminal() && st.Checkpoint != nil {
+			// One preempt record preserves the resume point; the serve
+			// layer's checkpoint payload carries its own preemption count,
+			// so folding the history to a single record loses nothing.
+			if err := write(Record{Type: TypePreempt, Time: st.SubmittedAt, JobID: st.ID, Tenant: st.Tenant, Evaluations: st.Evaluations, Checkpoint: st.Checkpoint}); err != nil {
 				f.Close()
 				return fmt.Errorf("journal: compacting: %w", err)
 			}
@@ -651,6 +702,7 @@ func writeBase(dir string, seq int, states []JobState) error {
 				BestConfig:  st.BestConfig,
 				BestScore:   st.BestScore,
 				TestScore:   st.TestScore,
+				Preemptions: st.Preemptions,
 			}
 			if err := write(rec); err != nil {
 				f.Close()

@@ -8,6 +8,7 @@ import (
 	"math"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,15 +21,18 @@ import (
 	"enhancedbhpo/internal/rng"
 	"enhancedbhpo/internal/serve/evalcache"
 	"enhancedbhpo/internal/serve/journal"
+	"enhancedbhpo/internal/serve/sched"
 	"enhancedbhpo/internal/serve/shipper"
 	"enhancedbhpo/internal/serve/tracestore"
 	"enhancedbhpo/internal/trace"
 )
 
-// ErrOverloaded is returned by Submit when the pending-job queue is at
-// MaxPending: the service sheds the submission instead of accepting
-// unbounded work. The HTTP layer maps it to 429 with a Retry-After
-// computed from the observed evaluation latency.
+// ErrOverloaded is returned by Submit when the scheduler's global
+// queued-job cap (MaxPending) is reached: the service sheds the
+// submission instead of accepting unbounded work. The HTTP layer maps it
+// to 429 with a Retry-After computed from the observed evaluation
+// latency. A per-tenant quota rejection surfaces as *sched.QuotaError
+// instead, priced for that tenant specifically.
 var ErrOverloaded = errors.New("serve: pending queue full")
 
 // Config tunes the Manager.
@@ -39,10 +43,36 @@ type Config struct {
 	// MaxJobs bounds concurrently running jobs; submissions beyond it
 	// wait in the queued state. 0 selects 4.
 	MaxJobs int
-	// MaxPending bounds the queued (accepted but not yet running) jobs;
-	// submissions beyond it are shed with ErrOverloaded. Jobs recovered
-	// from the journal are never shed. 0 selects 64.
+	// MaxPending bounds the queued (accepted but not yet running) jobs
+	// across all tenants; submissions beyond it are shed with
+	// ErrOverloaded. Jobs recovered from the journal are never shed.
+	// 0 selects 64.
 	MaxPending int
+	// TenantWeights maps tenant names to their weighted-fair-share
+	// weights (≥ 1): at saturation, a weight-3 tenant receives three
+	// times the evaluation budget of a weight-1 tenant. Tenants absent
+	// from the map get TenantDefaultWeight.
+	TenantWeights map[string]int
+	// TenantDefaultWeight is the weight of tenants not named in
+	// TenantWeights. 0 selects 1.
+	TenantDefaultWeight int
+	// TenantQuota caps one tenant's queued (not yet running) jobs;
+	// submissions beyond it are shed with a *sched.QuotaError 429 priced
+	// for that tenant, independent of the global MaxPending cap.
+	// 0 disables per-tenant quotas.
+	TenantQuota int
+	// MaxPreempts bounds how many times a single job yields its slot at
+	// rung boundaries before it becomes immune to further preemption —
+	// bounded churn, guaranteed progress. 0 selects 8; negative disables
+	// preemption entirely.
+	MaxPreempts int
+	// DeterministicTiming replaces each observed trial's wall-clock
+	// elapsed time with a synthetic duration proportional to its budget
+	// (budget × 1ms), making anytime curves — including their CumTime
+	// column — bit-identical across runs, preemptions and restarts. Used
+	// by the determinism tests and reproducibility studies; production
+	// keeps real timings.
+	DeterministicTiming bool
 	// EvalTimeout abandons an evaluation that has run longer than this:
 	// its pool slot is released, the wedged goroutine's eventual result
 	// is discarded, and the trial is charged to the job's failure budget
@@ -141,6 +171,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxPending <= 0 {
 		c.MaxPending = 64
 	}
+	if c.TenantDefaultWeight <= 0 {
+		c.TenantDefaultWeight = 1
+	}
+	switch {
+	case c.MaxPreempts == 0:
+		c.MaxPreempts = 8
+	case c.MaxPreempts < 0:
+		c.MaxPreempts = 0 // preemption disabled
+	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 1 << 16
 	}
@@ -197,12 +236,16 @@ type scopeEntry struct {
 	lastUsed time.Time
 }
 
-// Manager owns the job table, the shared pool and the cache scopes.
+// Manager owns the job table, the shared pool, the weighted-fair
+// scheduler and the cache scopes.
 type Manager struct {
-	cfg      Config
-	pool     *Pool
-	started  time.Time
-	jobSlots chan struct{}
+	cfg     Config
+	pool    *Pool
+	started time.Time
+	// sched replaces the old FIFO job-slot channel: admission (global cap
+	// + per-tenant quota), slot dispatch in weighted-fair order and
+	// rung-boundary preemption marking all live here.
+	sched *sched.Scheduler
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -223,19 +266,19 @@ type Manager struct {
 	traceErrs        atomic.Int64
 	journalErrs      atomic.Int64
 	shed             atomic.Int64
+	resumes          atomic.Int64
 	deadlineExceeded atomic.Int64
 	scopesEvicted    atomic.Int64
 	evalEWMA         atomic.Uint64 // math.Float64bits of the latency EWMA in seconds
 
 	journal *journal.Writer // nil when persistence is disabled
 
-	mu      sync.Mutex
-	seq     int
-	pending int // jobs accepted but not yet holding a job slot
-	jobs    map[string]*Job
-	order   []string
-	tokens  map[string]string // submit token → job ID (idempotent retries)
-	scopes  map[string]*scopeEntry
+	mu     sync.Mutex
+	seq    int
+	jobs   map[string]*Job
+	order  []string
+	tokens map[string]string // submit token → job ID (idempotent retries)
+	scopes map[string]*scopeEntry
 }
 
 // NewManager returns a ready, non-persistent manager; callers should
@@ -245,10 +288,16 @@ func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:        cfg,
-		pool:       NewPool(cfg.PoolSize),
-		started:    time.Now(),
-		jobSlots:   make(chan struct{}, cfg.MaxJobs),
+		cfg:     cfg,
+		pool:    NewPool(cfg.PoolSize),
+		started: time.Now(),
+		sched: sched.New(sched.Config{
+			Slots:         cfg.MaxJobs,
+			MaxQueued:     cfg.MaxPending,
+			Quota:         cfg.TenantQuota,
+			DefaultWeight: cfg.TenantDefaultWeight,
+			Weights:       cfg.TenantWeights,
+		}),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
@@ -293,11 +342,19 @@ func NewManagerFromJournal(cfg Config) (*Manager, error) {
 	}
 	now := time.Now()
 	for i := range states {
-		if states[i].Status == string(StatusRunning) {
-			states[i].Status = string(StatusCancelled)
-			states[i].Reason = string(ReasonInterrupted)
-			states[i].FinishedAt = now
+		if states[i].Status != string(StatusRunning) {
+			continue
 		}
+		if len(states[i].Checkpoint) > 0 {
+			// The job had yielded at a rung boundary at least once before
+			// the process died: its journaled checkpoint makes it resumable
+			// instead of lost — back to queued, to replay from the prefix.
+			states[i].Status = string(StatusQueued)
+			continue
+		}
+		states[i].Status = string(StatusCancelled)
+		states[i].Reason = string(ReasonInterrupted)
+		states[i].FinishedAt = now
 	}
 	if err := journal.Compact(cfg.DataDir, states); err != nil {
 		return nil, err
@@ -357,6 +414,10 @@ func NewManagerFromJournal(cfg Config) (*Manager, error) {
 			token:     st.Token,
 			cancel:    func() {},
 			submitted: st.SubmittedAt,
+			// Preemption counts survive restarts like the rest of the
+			// accounting; restoreCheckpoint overwrites this with the
+			// checkpoint's own (authoritative) count for resumable jobs.
+			preempts: st.Preemptions,
 		}
 		m.register(job)
 		// Re-arm the event feed from the durable trace: sequence numbers
@@ -367,19 +428,37 @@ func NewManagerFromJournal(cfg Config) (*Manager, error) {
 		} else {
 			m.hub.Prime(st.ID, evs)
 		}
+		// Re-seed the tenant's cumulative accounting (service = the
+		// curve's final cumulative budget — exactly what was charged) so
+		// /tenants survives the restart; virtual times restart level.
+		var service float64
+		if n := len(st.Curve); n > 0 {
+			service = float64(st.Curve[n-1].CumBudget)
+		}
 		if !st.Terminal() {
-			// Queued when the process died: run it again under this
-			// manager (the compacted journal already holds its submit
-			// record, so launching appends only the new transitions).
-			// Replayed jobs bypass admission control — they were already
-			// accepted once.
+			// Queued (or checkpoint-resumable) when the process died: run
+			// it again under this manager (the compacted journal already
+			// holds its submit record, so launching appends only the new
+			// transitions). Replayed jobs bypass admission control — they
+			// were already accepted once.
 			job.status = StatusQueued
-			m.mu.Lock()
-			m.pending++
-			m.mu.Unlock()
-			m.launch(job)
+			if len(st.Checkpoint) > 0 {
+				if err := job.restoreCheckpoint(st.Checkpoint); err != nil {
+					// An undecodable checkpoint is dropped, not fatal: the
+					// job still runs, just from scratch.
+					m.journalErrs.Add(1)
+				} else {
+					job.mu.Lock()
+					service = float64(job.cumBudget)
+					job.mu.Unlock()
+				}
+			}
+			m.sched.Restore(job.tenant(), service, int64(st.Evaluations), int64(st.Preemptions))
+			ticket, _ := m.sched.Enqueue(job.tenant(), job.ID, true) // bypass: never errors
+			m.launch(job, ticket)
 			continue
 		}
+		m.sched.Restore(job.tenant(), service, int64(st.Evaluations), int64(st.Preemptions))
 		curve := st.Curve
 		if curve == nil {
 			curve = []trace.Point{}
@@ -445,21 +524,45 @@ func (m *Manager) publishStatus(job *Job, terminal bool, at time.Time) {
 }
 
 // observeTrial is the per-trial observer behind every running job: it
-// folds the trial into the job's incumbent state and streams the new
-// curve point (plus a rung event when the trial entered a new round).
-// Called concurrently by optimizer workers; the job lock is held across
+// folds the trial into the job's incumbent state, streams the new curve
+// point (plus a rung event when the trial entered a new round), charges
+// the trial's budget to the job's tenant, and — when the scheduler has
+// marked this job as a preemption victim — cancels the current run
+// segment so the slot is yielded at this trial boundary. Called
+// concurrently by optimizer workers; the job lock is held across
 // record-and-publish so the event stream's curve points arrive in the
 // same order as the job's trial list — the streamed curve is always a
-// prefix of what Snapshot computes. (Lock order job.mu → feed.mu is
-// safe: no hub path takes a job lock.)
+// prefix of what Snapshot computes. (Lock order job.mu → feed.mu and
+// job.mu → sched.mu are both safe: no hub or scheduler path takes a job
+// lock.)
 func (m *Manager) observeTrial(job *Job, tr hpo.Trial) {
 	job.mu.Lock()
 	defer job.mu.Unlock()
+	if m.cfg.DeterministicTiming {
+		tr.Elapsed = time.Duration(tr.Budget) * time.Millisecond
+	}
+	if job.replaySkip > 0 {
+		// Replaying the checkpointed prefix after a preemption or restart:
+		// these trials were already recorded, published and charged in the
+		// segment that produced the checkpoint.
+		job.replaySkip--
+		return
+	}
 	pt, newRound, promoted := job.recordTrialLocked(tr)
 	if promoted {
 		m.publish(job.ID, events.Event{Type: events.TypeRung, Round: newRound, Budget: tr.Budget})
 	}
 	m.publish(job.ID, events.Event{Type: events.TypeCurvePoint, Point: &pt})
+	m.sched.Charge(job.tenant(), float64(tr.Budget))
+	if m.cfg.MaxPreempts > 0 && job.preempts < m.cfg.MaxPreempts &&
+		len(job.trials) > job.checkpointLen && job.segCancel != nil &&
+		m.sched.ShouldPreempt(job.ID) {
+		// Yield, but only with at least one new trial recorded this
+		// segment: a job that resumes straight into a victim mark must
+		// make progress before yielding again, or preemption could starve
+		// it into a replay loop.
+		job.segCancel(errPreempted)
+	}
 }
 
 // register inserts the job into the table, keeping seq ahead of every
@@ -479,8 +582,9 @@ func (m *Manager) register(job *Job) {
 }
 
 // launch builds the job's context (with the spec timeout, restarted from
-// now for replayed jobs) and starts the runner goroutine.
-func (m *Manager) launch(job *Job) {
+// now for replayed jobs) and starts the runner goroutine with its
+// scheduler ticket.
+func (m *Manager) launch(job *Job, ticket *sched.Ticket) {
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	if job.Spec.TimeoutSec > 0 {
 		ctx, cancel = context.WithTimeout(m.baseCtx, time.Duration(job.Spec.TimeoutSec*float64(time.Second)))
@@ -494,13 +598,14 @@ func (m *Manager) launch(job *Job) {
 		cancel()
 	}
 	m.wg.Add(1)
-	go m.run(ctx, job, cancel)
+	go m.run(ctx, job, cancel, ticket)
 }
 
-// Submit validates the spec, applies admission control against the
-// pending queue, registers a queued job, journals the submission and
-// starts the job in the background. A full pending queue sheds the
-// submission with ErrOverloaded instead of accepting unbounded work.
+// Submit validates the spec, applies admission control (the global
+// queued cap and the submitting tenant's quota), registers a queued job,
+// journals the submission and starts the job in the background. A full
+// queue sheds the submission with ErrOverloaded; a tenant at quota with
+// a *sched.QuotaError.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	return m.SubmitToken(spec, "")
 }
@@ -533,15 +638,21 @@ func (m *Manager) SubmitToken(spec JobSpec, token string) (*Job, error) {
 			return dup, nil
 		}
 	}
-	if m.pending >= m.cfg.MaxPending {
-		pending := m.pending
+	// ID assignment and enqueue happen under m.mu so concurrent
+	// submissions cannot interleave IDs and scheduler order differently
+	// (lock order m.mu → sched.mu).
+	id := fmt.Sprintf("job-%d", m.seq+1)
+	ticket, err := m.sched.Enqueue(spec.Tenant, id, false)
+	if err != nil {
 		m.mu.Unlock()
 		m.shed.Add(1)
-		return nil, fmt.Errorf("%w (%d jobs pending, max %d)", ErrOverloaded, pending, m.cfg.MaxPending)
+		if errors.Is(err, sched.ErrQueueFull) {
+			return nil, fmt.Errorf("%w: %v", ErrOverloaded, err)
+		}
+		return nil, err
 	}
-	m.pending++
 	m.seq++
-	job.ID = fmt.Sprintf("job-%d", m.seq)
+	job.ID = id
 	m.jobs[job.ID] = job
 	m.order = append(m.order, job.ID)
 	if token != "" {
@@ -549,34 +660,169 @@ func (m *Manager) SubmitToken(spec JobSpec, token string) (*Job, error) {
 	}
 	m.mu.Unlock()
 	m.journalSubmit(job)
-	m.launch(job)
+	m.launch(job, ticket)
 	return job, nil
 }
 
-// decPending marks one accepted job as no longer pending (it started
-// running, or it was cancelled while still queued).
-func (m *Manager) decPending() {
+// BatchError names the batch item that failed validation, so the HTTP
+// layer can return a structured 400 pointing at the offending entry.
+type BatchError struct {
+	// Index is the zero-based position in the submitted batch.
+	Index int
+	// Err is the underlying spec error (often a *SpecFieldError).
+	Err error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("serve: batch item %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// SubmitBatch admits every spec or none: validation failures reject the
+// batch with a *BatchError before anything is enqueued, and admission —
+// the global queued cap plus every named tenant's quota, counting the
+// batch itself — is checked atomically under one scheduler lock, so a
+// batch is never half-accepted. On success the returned jobs are
+// index-aligned with specs. A non-empty token dedupes the whole batch:
+// a retried token returns the originally accepted jobs.
+func (m *Manager) SubmitBatch(specs []JobSpec, token string) ([]*Job, error) {
+	if len(specs) == 0 {
+		return nil, &BatchError{Index: 0, Err: errors.New("empty batch")}
+	}
+	jobs := make([]*Job, len(specs))
+	items := make([]sched.BatchItem, len(specs))
+	now := time.Now()
+	for i, spec := range specs {
+		spec = spec.withDefaults()
+		if err := spec.Validate(); err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+		itemToken := ""
+		if token != "" {
+			itemToken = fmt.Sprintf("%s#%d", token, i)
+		}
+		jobs[i] = &Job{
+			Spec:      spec,
+			token:     itemToken,
+			cancel:    func() {},
+			status:    StatusQueued,
+			submitted: now,
+		}
+		items[i].Tenant = spec.Tenant
+	}
 	m.mu.Lock()
-	if m.pending > 0 {
-		m.pending--
+	if token != "" {
+		if id, ok := m.tokens[fmt.Sprintf("%s#%d", token, 0)]; ok {
+			// The whole batch was registered atomically under m.mu, so the
+			// first item's token implies every item's.
+			out := make([]*Job, len(specs))
+			out[0] = m.jobs[id]
+			for i := 1; i < len(specs); i++ {
+				out[i] = m.jobs[m.tokens[fmt.Sprintf("%s#%d", token, i)]]
+			}
+			m.mu.Unlock()
+			return out, nil
+		}
+	}
+	for i := range items {
+		items[i].ID = fmt.Sprintf("job-%d", m.seq+1+i)
+	}
+	tickets, err := m.sched.EnqueueBatch(items)
+	if err != nil {
+		m.mu.Unlock()
+		m.shed.Add(int64(len(specs)))
+		if errors.Is(err, sched.ErrQueueFull) {
+			return nil, fmt.Errorf("%w: %v", ErrOverloaded, err)
+		}
+		return nil, err
+	}
+	m.seq += len(specs)
+	for i, job := range jobs {
+		job.ID = items[i].ID
+		m.jobs[job.ID] = job
+		m.order = append(m.order, job.ID)
+		if job.token != "" {
+			m.tokens[job.token] = job.ID
+		}
 	}
 	m.mu.Unlock()
+	for i, job := range jobs {
+		m.journalSubmit(job)
+		m.launch(job, tickets[i])
+	}
+	return jobs, nil
 }
 
 // PendingDepth returns the number of accepted jobs not yet running.
-func (m *Manager) PendingDepth() int {
+func (m *Manager) PendingDepth() int { return m.sched.Queued() }
+
+// Overloaded reports whether the global queued-job cap is reached — the
+// readiness signal behind /healthz's "overloaded" state: the daemon is
+// alive and serving reads, but POST /jobs is being shed.
+func (m *Manager) Overloaded() bool { return m.sched.Overloaded() }
+
+// Tenants returns per-tenant usage: the scheduler's fair-share
+// accounting merged with job lifecycle counts from the job table,
+// sorted by tenant name. Served by GET /tenants.
+func (m *Manager) Tenants() []TenantStatus {
+	stats := m.sched.Stats()
+	out := make([]TenantStatus, len(stats))
+	byName := map[string]int{}
+	for i, st := range stats {
+		out[i] = TenantStatus{TenantStats: st}
+		byName[st.Tenant] = i
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.pending
+	for _, j := range m.jobs {
+		name := j.tenant()
+		i, ok := byName[name]
+		if !ok {
+			// Journal-restored terminal jobs of a tenant that has not
+			// submitted since the restart.
+			i = len(out)
+			out = append(out, TenantStatus{TenantStats: sched.TenantStats{
+				Tenant: name, Weight: m.tenantWeight(name),
+			}})
+			byName[name] = i
+		}
+		switch j.Status() {
+		case StatusQueued:
+			out[i].JobsQueued++
+		case StatusRunning:
+			out[i].JobsRunning++
+		case StatusDone:
+			out[i].JobsDone++
+		case StatusFailed:
+			out[i].JobsFailed++
+		case StatusCancelled:
+			out[i].JobsCancelled++
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }
 
-// Overloaded reports whether the pending queue is full — the readiness
-// signal behind /healthz's "overloaded" state: the daemon is alive and
-// serving reads, but POST /jobs is being shed.
-func (m *Manager) Overloaded() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.pending >= m.cfg.MaxPending
+// tenantWeight resolves a tenant's configured weight without touching
+// scheduler state.
+func (m *Manager) tenantWeight(name string) int {
+	if w, ok := m.cfg.TenantWeights[name]; ok && w >= 1 {
+		return w
+	}
+	return m.cfg.TenantDefaultWeight
+}
+
+// TenantStatus is one row of GET /tenants: scheduler-side fair-share
+// usage plus job lifecycle counts.
+type TenantStatus struct {
+	sched.TenantStats
+	JobsQueued    int `json:"jobs_queued"`
+	JobsRunning   int `json:"jobs_running"`
+	JobsDone      int `json:"jobs_done"`
+	JobsFailed    int `json:"jobs_failed"`
+	JobsCancelled int `json:"jobs_cancelled"`
 }
 
 // observeEvalLatency folds one successful evaluation's wall time into
@@ -597,19 +843,36 @@ func (m *Manager) observeEvalLatency(d time.Duration) {
 	}
 }
 
-// RetryAfter estimates when a shed client should retry: the observed
-// per-evaluation latency EWMA scaled by the queue ahead of them and
-// divided across the pool, clamped to [1s, 10m] so the header is always
-// positive and never absurd.
+// RetryAfter estimates when a shed client should retry, priced for the
+// whole service (all queued jobs, full pool). Per-tenant shed responses
+// use RetryAfterTenant instead.
 func (m *Manager) RetryAfter() time.Duration {
+	return m.retryAfter(m.sched.Queued(), 1)
+}
+
+// RetryAfterTenant prices a shed response for one tenant: the observed
+// per-evaluation latency EWMA scaled by that tenant's own queue and
+// divided by the slice of the pool its weighted fair share entitles it
+// to — a heavy, over-quota tenant is told to back off longer than a
+// light one shed by the same global cap.
+func (m *Manager) RetryAfterTenant(tenant string) time.Duration {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	return m.retryAfter(m.sched.TenantQueued(tenant), m.sched.Share(tenant))
+}
+
+// retryAfter is the shared Retry-After formula, clamped to [1s, 10m] so
+// the header is always positive and never absurd.
+func (m *Manager) retryAfter(queued int, share float64) time.Duration {
 	ew := math.Float64frombits(m.evalEWMA.Load())
 	if ew <= 0 {
 		ew = 1 // no evaluation observed yet: a conservative guess
 	}
-	m.mu.Lock()
-	pending := m.pending
-	m.mu.Unlock()
-	secs := ew * float64(pending+1) / float64(m.cfg.PoolSize)
+	if share <= 0 || share > 1 {
+		share = 1
+	}
+	secs := ew * float64(queued+1) / (float64(m.cfg.PoolSize) * share)
 	switch {
 	case secs < 1:
 		secs = 1
@@ -714,14 +977,34 @@ func (m *Manager) journalSubmit(job *Job) {
 	spec, err := json.Marshal(job.Spec)
 	if err == nil {
 		err = m.journal.Append(journal.Record{
-			Type:  journal.TypeSubmit,
-			Time:  job.submitted,
-			JobID: job.ID,
-			Token: job.token,
-			Spec:  spec,
+			Type:   journal.TypeSubmit,
+			Time:   job.submitted,
+			JobID:  job.ID,
+			Token:  job.token,
+			Tenant: job.tenant(),
+			Spec:   spec,
 		})
 	}
 	if err != nil {
+		m.journalErrs.Add(1)
+	}
+}
+
+// journalPreempt durably records a rung-boundary yield: the checkpoint
+// payload (trial prefix + preemption count) is what a restart resumes
+// from, so the record is fsynced like a terminal record.
+func (m *Manager) journalPreempt(job *Job, checkpoint []byte, evals int, at time.Time) {
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal.Append(journal.Record{
+		Type:        journal.TypePreempt,
+		Time:        at,
+		JobID:       job.ID,
+		Tenant:      job.tenant(),
+		Evaluations: evals,
+		Checkpoint:  checkpoint,
+	}); err != nil {
 		m.journalErrs.Add(1)
 	}
 }
@@ -758,6 +1041,7 @@ func (m *Manager) journalTerminal(job *Job) {
 		BestConfig:  snap.BestConfig,
 		BestScore:   snap.BestScore,
 		TestScore:   snap.TestScore,
+		Preemptions: snap.Preemptions,
 	}); err != nil {
 		m.journalErrs.Add(1)
 	}
@@ -920,17 +1204,26 @@ func (m *Manager) sweepScopes(now time.Time) int {
 
 // Metrics is the GET /metrics payload.
 type Metrics struct {
-	UptimeSec         float64 `json:"uptime_sec"`
-	JobsQueued        int     `json:"jobs_queued"`
-	JobsRunning       int     `json:"jobs_running"`
-	JobsDone          int     `json:"jobs_done"`
-	JobsFailed        int     `json:"jobs_failed"`
-	JobsCancelled     int     `json:"jobs_cancelled"`
-	PendingDepth      int     `json:"pending_depth"`
-	MaxPending        int     `json:"max_pending"`
-	ShedRequests      int64   `json:"shed_requests"`
-	PoolSize          int     `json:"pool_size"`
-	PoolInUse         int     `json:"pool_in_use"`
+	UptimeSec     float64 `json:"uptime_sec"`
+	JobsQueued    int     `json:"jobs_queued"`
+	JobsRunning   int     `json:"jobs_running"`
+	JobsDone      int     `json:"jobs_done"`
+	JobsFailed    int     `json:"jobs_failed"`
+	JobsCancelled int     `json:"jobs_cancelled"`
+	PendingDepth  int     `json:"pending_depth"`
+	MaxPending    int     `json:"max_pending"`
+	ShedRequests  int64   `json:"shed_requests"`
+	QuotaShed     int64   `json:"quota_shed"`
+	Tenants       int     `json:"tenants"`
+	Preemptions   int64   `json:"preemptions"`
+	Resumes       int64   `json:"resumes"`
+	PoolSize      int     `json:"pool_size"`
+	PoolInUse     int     `json:"pool_in_use"`
+	// PoolInflight is the scheduler-side evaluation gauge, incremented
+	// only while a slot is actually held (EvalStarted/EvalFinished pair
+	// with slot ownership), so it never under-reports during
+	// acquire/release races the way a detached counter would.
+	PoolInflight      int     `json:"pool_inflight"`
 	Evaluations       int64   `json:"evaluations"`
 	EvaluationsPerSec float64 `json:"evaluations_per_sec"`
 	EvalsFused        int64   `json:"evals_fused"`
@@ -969,8 +1262,12 @@ func (m *Manager) Metrics() Metrics {
 		Node:             m.cfg.NodeName,
 		MaxPending:       m.cfg.MaxPending,
 		ShedRequests:     m.shed.Load(),
+		QuotaShed:        m.sched.QuotaShed(),
+		Preemptions:      m.sched.Preemptions(),
+		Resumes:          m.resumes.Load(),
 		PoolSize:         m.pool.Size(),
 		PoolInUse:        m.pool.InUse(),
+		PoolInflight:     m.sched.Inflight(),
 		Evaluations:      m.evals.Load(),
 		EvalsFused:       m.evalsFused.Load(),
 		FusedRows:        m.fusedRows.Load(),
@@ -1005,8 +1302,9 @@ func (m *Manager) Metrics() Metrics {
 		out.ShipRetries = ss.Retries
 		out.ShipBytes = ss.Bytes
 	}
+	out.PendingDepth = m.sched.Queued()
+	out.Tenants = len(m.sched.Stats())
 	m.mu.Lock()
-	out.PendingDepth = m.pending
 	for _, j := range m.jobs {
 		switch j.Status() {
 		case StatusQueued:

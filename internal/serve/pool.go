@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime/debug"
-	"sync/atomic"
 	"time"
 
 	"enhancedbhpo/internal/hpo"
@@ -27,7 +26,6 @@ import (
 // pressure.
 type Pool struct {
 	slots chan struct{}
-	inUse atomic.Int64
 }
 
 // NewPool returns a pool with the given number of slots (minimum 1).
@@ -55,21 +53,25 @@ func (p *Pool) Acquire(ctx context.Context) error {
 		<-p.slots
 		return err
 	}
-	p.inUse.Add(1)
 	return nil
 }
 
 // Release frees a slot acquired with Acquire.
 func (p *Pool) Release() {
-	p.inUse.Add(-1)
 	<-p.slots
 }
 
 // Size returns the pool capacity.
 func (p *Pool) Size() int { return cap(p.slots) }
 
-// InUse returns the number of slots currently held.
-func (p *Pool) InUse() int { return int(p.inUse.Load()) }
+// InUse returns the number of slots currently held. It reads the slot
+// channel's occupancy directly, so — unlike the separate counter it
+// replaced, which was incremented after the channel send and so
+// under-reported momentarily during Acquire/Release races — it is
+// always consistent with what the pool will actually admit. The
+// per-tenant pool_inflight gauge (sched.EvalStarted/EvalFinished) is
+// maintained by the pooled evaluator while the slot is held.
+func (p *Pool) InUse() int { return len(p.slots) }
 
 // panicError is an evaluation panic converted to an error by the
 // pooled evaluator's recover armor, with the goroutine stack captured at
@@ -98,20 +100,26 @@ var errEvalDeadline = errors.New("serve: evaluation exceeded deadline")
 // it the error surfaces and only that job fails. It carries the job's
 // context so a cancelled job stops waiting for slots immediately.
 type pooledEvaluator struct {
-	inner         hpo.Evaluator
-	pool          *Pool
-	ctx           context.Context
-	onEval        func()
-	onFailure     func()
-	onDeadline    func(budget int)
-	onRetry       func(attempt int, err error)
-	onCharge      func(failures int, absorbed bool)
-	onLatency     func(time.Duration)
-	job           *Job
-	attempts      int
-	backoff       time.Duration
-	failureBudget int
-	evalTimeout   time.Duration
+	inner      hpo.Evaluator
+	pool       *Pool
+	ctx        context.Context
+	onEval     func()
+	onFailure  func()
+	onDeadline func(budget int)
+	onRetry    func(attempt int, err error)
+	onCharge   func(failures int, absorbed bool)
+	onLatency  func(time.Duration)
+	// onSlotAcquired/onSlotReleased bracket slot ownership exactly: the
+	// scheduler's per-tenant inflight gauge is incremented only after the
+	// slot is actually held and decremented before it is returned, so the
+	// gauge can never under- or over-report relative to pool occupancy.
+	onSlotAcquired func()
+	onSlotReleased func()
+	job            *Job
+	attempts       int
+	backoff        time.Duration
+	failureBudget  int
+	evalTimeout    time.Duration
 }
 
 func (e *pooledEvaluator) FullBudget() int { return e.inner.FullBudget() }
@@ -120,7 +128,15 @@ func (e *pooledEvaluator) Evaluate(cfg search.Config, budget int, r *rng.RNG) ([
 	if err := e.pool.Acquire(e.ctx); err != nil {
 		return nil, err
 	}
-	defer e.pool.Release()
+	if e.onSlotAcquired != nil {
+		e.onSlotAcquired()
+	}
+	defer func() {
+		if e.onSlotReleased != nil {
+			e.onSlotReleased()
+		}
+		e.pool.Release()
+	}()
 	attempts := e.attempts
 	if attempts < 1 {
 		attempts = 1

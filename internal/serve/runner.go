@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
@@ -11,46 +12,119 @@ import (
 	"enhancedbhpo/internal/hpo"
 	"enhancedbhpo/internal/rng"
 	"enhancedbhpo/internal/search"
+	"enhancedbhpo/internal/serve/sched"
 )
 
-// run executes one job end to end: wait for a job slot, build the shared
-// scope, run the optimizer over the pooled, cached evaluator, then refit
-// the winner and score it on the held-out test split.
-func (m *Manager) run(ctx context.Context, job *Job, cancel context.CancelFunc) {
+// errPreempted is the cancellation cause of a run segment yielded at a
+// rung boundary: the scheduler marked the job a victim and observeTrial
+// cancelled the segment context with this cause. The runner tells a
+// preemption apart from a real cancel by this cause plus the job context
+// still being live.
+var errPreempted = errors.New("serve: preempted at rung boundary")
+
+// run executes one job as a sequence of run segments: wait on the
+// scheduler ticket for a job slot, build the shared scope, run the
+// optimizer over the pooled, cached evaluator — and either finish (refit
+// the winner, score it on the held-out test split) or, when the
+// weighted-fair scheduler reclaimed the slot at a rung boundary,
+// checkpoint the completed trials, re-enqueue, and resume in a later
+// segment by deterministic replay.
+func (m *Manager) run(ctx context.Context, job *Job, cancel context.CancelFunc, ticket *sched.Ticket) {
 	defer m.wg.Done()
 	defer cancel()
 
-	// Queued until a job slot frees up (MaxJobs gate); cancellation while
-	// queued never touches the pool. Either way the job stops counting
-	// against the admission (pending) queue here.
-	select {
-	case m.jobSlots <- struct{}{}:
-		m.decPending()
-	case <-ctx.Done():
-		m.decPending()
-		m.finish(job, nil, nil, ctx.Err())
+	for {
+		// Queued until the scheduler grants the ticket; cancellation while
+		// queued withdraws it without ever touching the pool.
+		if err := ticket.Wait(ctx); err != nil {
+			m.finish(job, nil, nil, err)
+			return
+		}
+
+		started := time.Now()
+		segCtx, segCancel := context.WithCancelCause(ctx)
+		job.mu.Lock()
+		job.status = StatusRunning
+		if job.started.IsZero() {
+			job.started = started
+		}
+		resumed := job.checkpointLen > 0
+		// Arm the replay skip: the optimizer restarts from scratch each
+		// segment, regenerating the checkpointed prefix via evaluation-cache
+		// hits; those observations must not be re-recorded or re-charged.
+		job.replaySkip = job.checkpointLen
+		job.segCancel = segCancel
+		round := job.maxRound
+		job.mu.Unlock()
+		m.journalStatus(job, StatusRunning, started)
+		if resumed {
+			m.resumes.Add(1)
+			m.publish(job.ID, events.Event{
+				Type:   events.TypeResumed,
+				Time:   started,
+				Status: string(StatusRunning),
+				Round:  round,
+			})
+		} else {
+			m.publishStatus(job, false, started)
+		}
+
+		// The scope stays pinned (TTL eviction cannot take it) until the
+		// segment is over — finish() reads scope.cv and scope.test.
+		scope, release, err := m.acquireScope(job.Spec)
+		if err != nil {
+			segCancel(nil)
+			m.finish(job, nil, nil, err)
+			m.sched.Release(ticket)
+			return
+		}
+		res, err := m.optimize(segCtx, job, scope)
+		if context.Cause(segCtx) == errPreempted && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			// A rung-boundary yield, not a real cancel: checkpoint, give the
+			// slot back, rejoin the queue, go around.
+			segCancel(nil)
+			release()
+			m.preemptJob(job)
+			ticket = m.sched.Preempt(ticket)
+			continue
+		}
+		segCancel(nil)
+		// finish holds the job slot through the final FitFull so the refit
+		// competes for CPU like any other evaluation.
+		m.finish(job, scope, res, err)
+		m.sched.Release(ticket)
+		release()
 		return
 	}
-	defer func() { <-m.jobSlots }()
+}
 
-	started := time.Now()
+// preemptJob transitions a yielded job back to queued: the completed
+// trial prefix and preemption count are checkpointed to the journal
+// (fsynced — the resume point must survive a crash), and subscribers see
+// a preempted event at the rung the job reached.
+func (m *Manager) preemptJob(job *Job) {
+	at := time.Now()
 	job.mu.Lock()
-	job.status = StatusRunning
-	job.started = started
+	job.status = StatusQueued
+	job.preempts++
+	job.checkpointLen = len(job.trials)
+	job.segCancel = nil
+	ck := job.checkpointLocked()
+	evals := len(job.trials)
+	round := job.maxRound
 	job.mu.Unlock()
-	m.journalStatus(job, StatusRunning, started)
-	m.publishStatus(job, false, started)
-
-	// The scope stays pinned (TTL eviction cannot take it) until the
-	// runner is done with it — finish() reads scope.cv and scope.test.
-	scope, release, err := m.acquireScope(job.Spec)
+	raw, err := json.Marshal(ck)
 	if err != nil {
-		m.finish(job, nil, nil, err)
-		return
+		m.journalErrs.Add(1)
+		raw = nil
 	}
-	defer release()
-	res, err := m.optimize(ctx, job, scope)
-	m.finish(job, scope, res, err)
+	m.journalPreempt(job, raw, evals, at)
+	m.publish(job.ID, events.Event{
+		Type:   events.TypePreempted,
+		Time:   at,
+		Status: string(StatusQueued),
+		Round:  round,
+	})
 }
 
 // optimize dispatches to the context-aware optimizer selected by the spec.
@@ -68,6 +142,7 @@ func (m *Manager) optimize(ctx context.Context, job *Job, scope *evalScope) (*hp
 		// errors exercise the real isolation path.
 		inner = m.cfg.WrapEvaluator(job.ID, inner)
 	}
+	tenant := job.tenant()
 	ev := &pooledEvaluator{
 		inner:     inner,
 		pool:      m.pool,
@@ -89,12 +164,17 @@ func (m *Manager) optimize(ctx context.Context, job *Job, scope *evalScope) (*hp
 			}
 			m.publish(job.ID, events.Event{Type: events.TypeFailure, Failures: failures, Reason: reason})
 		},
-		onLatency:     m.observeEvalLatency,
-		job:           job,
-		attempts:      m.cfg.EvalAttempts,
-		backoff:       m.cfg.RetryBackoff,
-		failureBudget: m.cfg.FailureBudget,
-		evalTimeout:   m.cfg.EvalTimeout,
+		onLatency: m.observeEvalLatency,
+		// The inflight gauge is charged to the tenant only while the slot
+		// is actually held, so pool_inflight is always consistent with
+		// pool occupancy.
+		onSlotAcquired: func() { m.sched.EvalStarted(tenant) },
+		onSlotReleased: func() { m.sched.EvalFinished(tenant) },
+		job:            job,
+		attempts:       m.cfg.EvalAttempts,
+		backoff:        m.cfg.RetryBackoff,
+		failureBudget:  m.cfg.FailureBudget,
+		evalTimeout:    m.cfg.EvalTimeout,
 	}
 	method, ok := hpo.LookupMethod(spec.Method)
 	if !ok {
@@ -149,6 +229,7 @@ func (m *Manager) finish(job *Job, scope *evalScope, res *hpo.Result, err error)
 	}
 	job.mu.Lock()
 	job.status = status
+	job.segCancel = nil
 	switch {
 	case status != StatusCancelled:
 		// A speculative shutdown mark on a job that still finished (or

@@ -1,0 +1,309 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// drain grants s's free slots to n enqueued jobs and returns their
+// tickets in grant order by reading the grant log.
+func mustEnqueue(t *testing.T, s *Scheduler, tenant, id string) *Ticket {
+	t.Helper()
+	tk, err := s.Enqueue(tenant, id, false)
+	if err != nil {
+		t.Fatalf("Enqueue(%s, %s): %v", tenant, id, err)
+	}
+	return tk
+}
+
+func granted(tk *Ticket) bool {
+	select {
+	case <-tk.grant:
+		return true
+	default:
+		return false
+	}
+}
+
+// TestWeightedGrantOrder: with deep backlogs for two tenants at weights
+// 3:1 and one slot, grants interleave 3-to-1 — the stride invariant.
+func TestWeightedGrantOrder(t *testing.T) {
+	s := New(Config{Slots: 1, Weights: map[string]int{"a": 3, "b": 1}})
+	// Occupy the slot so the backlog forms deterministically.
+	blocker := mustEnqueue(t, s, "z", "blocker")
+	if !granted(blocker) {
+		t.Fatal("blocker not granted an empty scheduler's slot")
+	}
+	var ticks []*Ticket
+	for i := 0; i < 8; i++ {
+		ticks = append(ticks, mustEnqueue(t, s, "a", "a-"+string(rune('0'+i))))
+		if i < 3 {
+			ticks = append(ticks, mustEnqueue(t, s, "b", "b-"+string(rune('0'+i))))
+		}
+	}
+	// Serve the backlog: each grant is released immediately after charging
+	// one unit of service, as a 1-trial job would.
+	s.Release(blocker)
+	for range ticks {
+		var cur *Ticket
+		for _, tk := range ticks {
+			if granted(tk) && tk.state == tkGranted {
+				cur = tk
+				break
+			}
+		}
+		if cur == nil {
+			t.Fatal("no granted ticket while backlog remains")
+		}
+		s.Charge(cur.Tenant, 12) // equal-cost jobs
+		s.Release(cur)
+	}
+	log := s.Grants()[1:] // drop the blocker
+	counts := map[byte]int{}
+	// In any window of the first 8 grants, a should have ~3× b's share.
+	for _, id := range log[:8] {
+		counts[id[0]]++
+	}
+	if counts['a'] < 5 || counts['b'] < 1 {
+		t.Fatalf("first 8 grants not weighted 3:1: %v (log %v)", counts, log)
+	}
+}
+
+// TestDeterministicGrantLog: the same submission trace always yields
+// the same grant order (names break vtime ties).
+func TestDeterministicGrantLog(t *testing.T) {
+	run := func() []string {
+		s := New(Config{Slots: 1, Weights: map[string]int{"x": 2, "y": 1, "z": 1}})
+		blocker := mustEnqueue(t, s, "blk", "blocker")
+		var ticks []*Ticket
+		for i := 0; i < 4; i++ {
+			for _, tenant := range []string{"y", "x", "z"} {
+				ticks = append(ticks, mustEnqueue(t, s, tenant, tenant+"-"+string(rune('0'+i))))
+			}
+		}
+		s.Charge("blk", 5)
+		s.Release(blocker)
+		for range ticks {
+			var cur *Ticket
+			for _, tk := range ticks {
+				if granted(tk) && tk.state == tkGranted {
+					cur = tk
+					break
+				}
+			}
+			s.Charge(cur.Tenant, 7)
+			s.Release(cur)
+		}
+		return s.Grants()
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatalf("grant log length changed: %d vs %d", len(got), len(first))
+		} else {
+			for j := range got {
+				if got[j] != first[j] {
+					t.Fatalf("grant log diverged at %d: %v vs %v", j, got, first)
+				}
+			}
+		}
+	}
+}
+
+// TestQuotaAndQueueCaps: the global cap returns ErrQueueFull, the
+// per-tenant quota a QuotaError naming the tenant, and bypass enqueues
+// are exempt from both.
+func TestQuotaAndQueueCaps(t *testing.T) {
+	s := New(Config{Slots: 1, MaxQueued: 3, Quota: 2})
+	blocker := mustEnqueue(t, s, "z", "blocker")
+	if !granted(blocker) {
+		t.Fatal("blocker not granted")
+	}
+	mustEnqueue(t, s, "a", "a-1")
+	mustEnqueue(t, s, "a", "a-2")
+	if _, err := s.Enqueue("a", "a-3", false); err == nil {
+		t.Fatal("third queued job for tenant a should exceed quota 2")
+	} else {
+		var qe *QuotaError
+		if !errors.As(err, &qe) || qe.Tenant != "a" {
+			t.Fatalf("want QuotaError for tenant a, got %v", err)
+		}
+	}
+	mustEnqueue(t, s, "b", "b-1")
+	if _, err := s.Enqueue("c", "c-1", false); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull at global cap, got %v", err)
+	}
+	if _, err := s.Enqueue("c", "c-bypass", true); err != nil {
+		t.Fatalf("bypass enqueue should ignore caps: %v", err)
+	}
+	if s.QuotaShed() != 1 {
+		t.Fatalf("quota shed = %d, want 1", s.QuotaShed())
+	}
+}
+
+// TestBatchAtomicity: a batch that would push one tenant past quota is
+// rejected whole — nothing enqueued.
+func TestBatchAtomicity(t *testing.T) {
+	s := New(Config{Slots: 1, MaxQueued: 10, Quota: 2})
+	blocker := mustEnqueue(t, s, "z", "blocker")
+	_ = blocker
+	mustEnqueue(t, s, "a", "a-0")
+	before := s.Queued()
+	_, err := s.EnqueueBatch([]BatchItem{
+		{Tenant: "b", ID: "b-0"},
+		{Tenant: "a", ID: "a-1"},
+		{Tenant: "a", ID: "a-2"}, // a would reach 3 > quota 2
+	})
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Tenant != "a" {
+		t.Fatalf("want QuotaError for tenant a, got %v", err)
+	}
+	if got := s.Queued(); got != before {
+		t.Fatalf("failed batch leaked queue entries: %d -> %d", before, got)
+	}
+	ticks, err := s.EnqueueBatch([]BatchItem{
+		{Tenant: "b", ID: "b-0"},
+		{Tenant: "a", ID: "a-1"},
+	})
+	if err != nil || len(ticks) != 2 {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+}
+
+// TestPreemptionVictim: a running job of an over-served tenant is
+// marked once a cheaper tenant waits, and Preempt re-enqueues it.
+func TestPreemptionVictim(t *testing.T) {
+	s := New(Config{Slots: 1, Weights: map[string]int{"low": 1, "vip": 8}})
+	lowTk := mustEnqueue(t, s, "low", "low-1")
+	if !granted(lowTk) {
+		t.Fatal("low-1 not granted")
+	}
+	s.Charge("low", 10)
+	vipTk := mustEnqueue(t, s, "vip", "vip-1")
+	if granted(vipTk) {
+		t.Fatal("vip granted with no free slot")
+	}
+	// vip arrived level with low (arrival rule); one more charge makes low
+	// strictly over-served and the mark must appear.
+	if s.ShouldPreempt("low-1") {
+		t.Fatal("victim marked before entitlement")
+	}
+	s.Charge("low", 10)
+	if !s.ShouldPreempt("low-1") {
+		t.Fatal("low-1 not marked after charging past the waiting vip")
+	}
+	lowTk2 := s.Preempt(lowTk)
+	if !granted(vipTk) {
+		t.Fatal("vip not granted the yielded slot")
+	}
+	if granted(lowTk2) {
+		t.Fatal("preempted job re-granted while vip holds the slot")
+	}
+	if s.ShouldPreempt("vip-1") {
+		t.Fatal("stale victim mark")
+	}
+	s.Charge("vip", 1)
+	s.Release(vipTk)
+	if !granted(lowTk2) {
+		t.Fatal("preempted job not resumed after vip finished")
+	}
+	if s.Preemptions() != 1 {
+		t.Fatalf("preemptions = %d, want 1", s.Preemptions())
+	}
+}
+
+// TestWaitContextWithdraws: a cancelled waiter leaves the queue; a
+// cancellation racing the grant returns the slot.
+func TestWaitContextWithdraws(t *testing.T) {
+	s := New(Config{Slots: 1})
+	blocker := mustEnqueue(t, s, "z", "blocker")
+	tk := mustEnqueue(t, s, "a", "a-1")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := tk.Wait(ctx); err == nil {
+		t.Fatal("Wait with cancelled ctx returned nil")
+	}
+	if got := s.Queued(); got != 0 {
+		t.Fatalf("withdrawn ticket still queued: %d", got)
+	}
+	s.Release(blocker)
+	// The withdrawn ticket must not have consumed the freed slot.
+	tk2 := mustEnqueue(t, s, "a", "a-2")
+	if !granted(tk2) {
+		t.Fatal("slot lost to a withdrawn ticket")
+	}
+}
+
+// TestInflightGauge pairs EvalStarted/EvalFinished.
+func TestInflightGauge(t *testing.T) {
+	s := New(Config{Slots: 2})
+	s.EvalStarted("a")
+	s.EvalStarted("a")
+	s.EvalStarted("b")
+	if got := s.Inflight(); got != 3 {
+		t.Fatalf("inflight = %d, want 3", got)
+	}
+	s.EvalFinished("a")
+	s.EvalFinished("b")
+	s.EvalFinished("a")
+	if got := s.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+	for _, st := range s.Stats() {
+		if st.InflightEvals != 0 {
+			t.Fatalf("tenant %s inflight = %d, want 0", st.Tenant, st.InflightEvals)
+		}
+	}
+}
+
+// TestArrivalRuleNoIdleCredit: a tenant idle through another's service
+// re-enters level with it, not with banked credit.
+func TestArrivalRuleNoIdleCredit(t *testing.T) {
+	s := New(Config{Slots: 1})
+	tk := mustEnqueue(t, s, "busy", "busy-1")
+	s.Charge("busy", 100)
+	idle := mustEnqueue(t, s, "idle", "idle-1")
+	s.mu.Lock()
+	bv, iv := s.tenants["busy"].vtime, s.tenants["idle"].vtime
+	s.mu.Unlock()
+	if iv < bv {
+		t.Fatalf("idle arrival banked credit: idle vtime %v < busy %v", iv, bv)
+	}
+	s.Release(tk)
+	if !granted(idle) {
+		t.Fatal("idle tenant not granted freed slot")
+	}
+}
+
+// TestWaitGrantNoDeadlock: concurrent waiters all eventually run.
+func TestWaitGrantNoDeadlock(t *testing.T) {
+	s := New(Config{Slots: 2})
+	done := make(chan string, 20)
+	for i := 0; i < 20; i++ {
+		tenant := string(rune('a' + i%4))
+		tk := mustEnqueue(t, s, tenant, tenant+"-"+string(rune('0'+i/4)))
+		go func(tk *Ticket) {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := tk.Wait(ctx); err != nil {
+				done <- "err:" + err.Error()
+				return
+			}
+			s.Charge(tk.Tenant, 3)
+			s.Release(tk)
+			done <- tk.ID
+		}(tk)
+	}
+	for i := 0; i < 20; i++ {
+		select {
+		case id := <-done:
+			if len(id) > 4 && id[:4] == "err:" {
+				t.Fatalf("waiter failed: %s", id)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("waiters deadlocked")
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"enhancedbhpo/internal/events"
 	"enhancedbhpo/internal/hpo"
 	"enhancedbhpo/internal/mat"
+	"enhancedbhpo/internal/serve/sched"
 	"enhancedbhpo/internal/trace"
 )
 
@@ -21,8 +22,17 @@ import (
 //
 //	POST   /jobs               submit a JobSpec, returns the queued job
 //	                           snapshot; 429 + Retry-After when the pending
-//	                           queue is full, 503 while draining
-//	GET    /jobs               list all jobs (snapshots without curves)
+//	                           queue is full or the tenant is at quota,
+//	                           503 while draining
+//	POST   /jobs:batch         submit several JobSpecs atomically: all are
+//	                           admitted (against the global cap and every
+//	                           tenant's quota, counting the batch itself)
+//	                           or none is; 400 names the offending item
+//	GET    /jobs               list all jobs (snapshots without curves);
+//	                           ?tenant=X filters to one tenant
+//	GET    /tenants            per-tenant weighted-fair usage: weight,
+//	                           virtual time, queue depth, evaluations,
+//	                           service units, shed and preemption counts
 //	GET    /jobs/{id}          one job's status + live anytime curve;
 //	                           ?since=N returns only curve points past
 //	                           event sequence N (incremental poll)
@@ -51,7 +61,9 @@ type Server struct {
 func NewServer(m *Manager) *Server {
 	s := &Server{manager: m, mux: http.NewServeMux(), drainCh: make(chan struct{})}
 	s.mux.HandleFunc("POST /jobs", s.submitJob)
+	s.mux.HandleFunc("POST /jobs:batch", s.submitBatch)
 	s.mux.HandleFunc("GET /jobs", s.listJobs)
+	s.mux.HandleFunc("GET /tenants", s.listTenants)
 	s.mux.HandleFunc("GET /jobs/{id}", s.getJob)
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.jobEvents)
 	s.mux.HandleFunc("GET /jobs/{id}/trace", s.jobTrace)
@@ -100,6 +112,9 @@ func (s *Server) drainSignal() <-chan struct{} {
 type errorBody struct {
 	Error string `json:"error"`
 	Field string `json:"field,omitempty"`
+	// Index points at the offending batch item (zero-based) when a
+	// /jobs:batch submission fails validation.
+	Index *int `json:"index,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -130,17 +145,7 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 	// submission (the first attempt's ack was lost) with the same token
 	// returns the already-accepted job instead of running the work twice.
 	job, err := s.manager.SubmitToken(spec, r.Header.Get("X-Submit-Token"))
-	if errors.Is(err, ErrOverloaded) {
-		// Shed load instead of queueing unboundedly. Retry-After is
-		// priced from the observed evaluation latency EWMA and the queue
-		// depth, so clients back off proportionally to the actual
-		// backlog.
-		secs := retryAfterSeconds(s.manager.RetryAfter())
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeJSON(w, http.StatusTooManyRequests, overloadBody{
-			Error:         err.Error(),
-			RetryAfterSec: secs,
-		})
+	if s.writeShed(w, err) {
 		return
 	}
 	var fieldErr *SpecFieldError
@@ -155,6 +160,103 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+// writeShed maps admission-control rejections to 429: a global-cap shed
+// is priced for the whole service, a per-tenant quota shed for that
+// tenant's own queue and weighted fair share. Returns whether it wrote a
+// response.
+func (s *Server) writeShed(w http.ResponseWriter, err error) bool {
+	var quotaErr *sched.QuotaError
+	switch {
+	case errors.As(err, &quotaErr):
+		secs := retryAfterSeconds(s.manager.RetryAfterTenant(quotaErr.Tenant))
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, overloadBody{
+			Error:         err.Error(),
+			Tenant:        quotaErr.Tenant,
+			RetryAfterSec: secs,
+		})
+		return true
+	case errors.Is(err, ErrOverloaded):
+		// Shed load instead of queueing unboundedly. Retry-After is
+		// priced from the observed evaluation latency EWMA and the queue
+		// depth, so clients back off proportionally to the actual
+		// backlog.
+		secs := retryAfterSeconds(s.manager.RetryAfter())
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, overloadBody{
+			Error:         err.Error(),
+			RetryAfterSec: secs,
+		})
+		return true
+	}
+	return false
+}
+
+// batchRequest is the POST /jobs:batch body.
+type batchRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// batchResponse is the POST /jobs:batch 202 payload: snapshots
+// index-aligned with the submitted specs.
+type batchResponse struct {
+	Jobs []Snapshot `json:"jobs"`
+}
+
+func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+		return
+	}
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding batch: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	jobs, err := s.manager.SubmitBatch(req.Jobs, r.Header.Get("X-Submit-Token"))
+	if s.writeShed(w, err) {
+		return
+	}
+	var batchErr *BatchError
+	if errors.As(err, &batchErr) {
+		idx := batchErr.Index
+		body := errorBody{Error: err.Error(), Index: &idx}
+		var fieldErr *SpecFieldError
+		if errors.As(batchErr.Err, &fieldErr) {
+			body.Field = fieldErr.Field
+		}
+		writeJSON(w, http.StatusBadRequest, body)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := batchResponse{Jobs: make([]Snapshot, len(jobs))}
+	for i, job := range jobs {
+		snap := job.Snapshot()
+		snap.Curve = nil
+		snap.Sparkline = ""
+		out.Jobs[i] = snap
+	}
+	writeJSON(w, http.StatusAccepted, out)
+}
+
+// tenantsResponse is the GET /tenants payload.
+type tenantsResponse struct {
+	Tenants []TenantStatus `json:"tenants"`
+}
+
+func (s *Server) listTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, tenantsResponse{Tenants: s.manager.Tenants()})
 }
 
 // methodBody is one GET /methods entry: the registry's view of an
@@ -190,7 +292,10 @@ func (s *Server) listMethods(w http.ResponseWriter, r *http.Request) {
 // overloadBody is the 429 payload: the error plus the same retry hint as
 // the Retry-After header, for clients that only read bodies.
 type overloadBody struct {
-	Error         string `json:"error"`
+	Error string `json:"error"`
+	// Tenant is set when the shed was a per-tenant quota rejection (the
+	// rest of the service may still be accepting other tenants' work).
+	Tenant        string `json:"tenant,omitempty"`
 	RetryAfterSec int    `json:"retry_after_sec"`
 }
 
@@ -204,9 +309,13 @@ func retryAfterSeconds(d time.Duration) int {
 }
 
 func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
+	tenant := r.URL.Query().Get("tenant")
 	jobs := s.manager.Jobs()
 	out := make([]Snapshot, 0, len(jobs))
 	for _, j := range jobs {
+		if tenant != "" && j.tenant() != tenant {
+			continue
+		}
 		snap := j.Snapshot()
 		// Keep the listing light: curves and stacks are per-job payloads.
 		snap.Curve = nil
